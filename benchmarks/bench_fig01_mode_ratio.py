@@ -1,0 +1,67 @@
+"""Figure 1(b) / Figure 5(a)(b): performance vs. compute-mode array ratio.
+
+Regenerates the motivation curves: the normalised performance of each
+benchmark model as the fraction of arrays in compute mode sweeps from 5 %
+to 95 %, plus the 2-D (compute, memory) heatmaps for ResNet-50 and
+LLaMA2-7B.  The expected shape: CNNs peak at a compute-heavy split,
+decode-phase LLMs peak at a memory-heavy split.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import allocation_heatmaps, mode_ratio_curves
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_mode_ratio_curves(benchmark, chip):
+    """Normalised performance vs. compute-mode ratio (Fig. 1(b))."""
+
+    def run():
+        sweeps = mode_ratio_curves()
+        return {
+            model: {
+                "best_ratio": sweep.best_ratio,
+                "ratios": sweep.ratios,
+                "normalized_performance": sweep.normalized_performance,
+            }
+            for model, sweep in sweeps.items()
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fig. 1(b): best compute-mode ratio per model"]
+    for model, data in rows.items():
+        lines.append(f"  {model:12s} best ratio = {data['best_ratio']:.2f}")
+    record(benchmark, rows, "\n".join(lines))
+    # CNNs want compute-heavy splits, decode-phase LLMs memory-heavy splits.
+    assert rows["resnet50"]["best_ratio"] >= 0.5
+    assert rows["llama2-7b"]["best_ratio"] <= 0.3
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_allocation_heatmaps(benchmark, chip):
+    """Normalised-performance heatmaps over (compute, memory) counts (Fig. 5(a)(b))."""
+
+    def run():
+        heatmaps = allocation_heatmaps(grid_points=9)
+        summary = {}
+        for model, data in heatmaps.items():
+            heatmap = data["heatmap"]
+            best_index = heatmap.argmax()
+            i, j = divmod(int(best_index), heatmap.shape[1])
+            summary[model] = {
+                "best_compute_arrays": int(data["compute_counts"][i]),
+                "best_memory_arrays": int(data["memory_counts"][j]),
+            }
+        return summary
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fig. 5(a)(b): best (compute, memory) array counts"]
+    for model, data in rows.items():
+        lines.append(
+            f"  {model:12s} compute={data['best_compute_arrays']:3d} "
+            f"memory={data['best_memory_arrays']:3d}"
+        )
+    record(benchmark, rows, "\n".join(lines))
+    assert rows["resnet50"]["best_compute_arrays"] > rows["llama2-7b"]["best_compute_arrays"]

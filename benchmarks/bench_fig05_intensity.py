@@ -1,0 +1,25 @@
+"""Figure 5(c): average arithmetic intensity per benchmark model.
+
+The paper motivates dual-mode switching with the spread of arithmetic
+intensities across networks: ResNet-50 and VGG sit in the hundreds of
+FLOPs per element moved, while single-batch LLaMA 2 decoding sits around 2.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import intensity_comparison
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_arithmetic_intensity(benchmark, chip):
+    """Average arithmetic intensity per model (Fig. 5(c))."""
+    rows = benchmark.pedantic(intensity_comparison, rounds=1, iterations=1)
+    lines = ["Fig. 5(c): average arithmetic intensity (FLOPs / element moved)"]
+    for model, value in rows.items():
+        lines.append(f"  {model:12s} {value:8.1f}")
+    record(benchmark, rows, "\n".join(lines))
+    assert rows["llama2-7b"] < 5
+    assert rows["resnet50"] > 50
+    assert rows["vgg16"] > rows["llama2-7b"]

@@ -1,0 +1,47 @@
+"""Figure 6: layer-wise and sequence-length-dependent arithmetic intensity.
+
+Fig. 6(a): the per-layer arithmetic intensity of ResNet-50 spans more than
+an order of magnitude across its four stages.  Fig. 6(b): BERT-large's
+intensity grows with the sequence length and differs between computation
+stages (FFN projections grow fastest, QKV products stay lower).
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import bert_intensity_vs_sequence, resnet_layer_intensity
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06a_resnet_layerwise_intensity(benchmark, chip):
+    """Layer-wise arithmetic intensity of ResNet-50 (Fig. 6(a))."""
+    rows = benchmark.pedantic(resnet_layer_intensity, rounds=1, iterations=1)
+    conv_rows = [row for row in rows if row["op_type"] == "conv2d"]
+    intensities = [row["intensity"] for row in conv_rows]
+    report = (
+        "Fig. 6(a): ResNet-50 layer-wise intensity "
+        f"(min {min(intensities):.0f}, max {max(intensities):.0f}, layers {len(conv_rows)})"
+    )
+    record(benchmark, rows, report)
+    # The paper reports a spread from below 100 to over 700 FLOPs/MOP.
+    assert max(intensities) > 5 * min(intensities)
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06b_bert_intensity_vs_sequence_length(benchmark, chip, grids):
+    """BERT-large stage intensity across sequence lengths (Fig. 6(b))."""
+    lengths = (128, 512, 2048) if len(grids["sequence_lengths"]) <= 3 else (128, 512, 4096)
+
+    def run():
+        return bert_intensity_vs_sequence(lengths)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fig. 6(b): BERT-large arithmetic intensity per stage"]
+    for seq_len, stages in rows.items():
+        parts = ", ".join(f"{name}={value:.0f}" for name, value in sorted(stages.items()))
+        lines.append(f"  seq {seq_len:5d}: {parts}")
+    record(benchmark, {str(k): v for k, v in rows.items()}, "\n".join(lines))
+    short, long = min(rows), max(rows)
+    assert rows[long]["model"] > rows[short]["model"]
+    assert rows[long]["FFN (FC)"] > rows[long]["MHA (QKV)"]

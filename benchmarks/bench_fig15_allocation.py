@@ -1,0 +1,38 @@
+"""Figure 15: compiled compute/memory allocation for VGG-16 and OPT-6.7B.
+
+The paper visualises the per-segment allocation: VGG-16's early
+convolutions share segments and are compute-dominated while later layers
+receive memory arrays; an OPT-6.7B layer puts 33-67 % of the arrays used by
+its projection/FFN operators into memory mode.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import allocation_report
+from repro.experiments.allocation_report import render_report
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15a_vgg16_allocation(benchmark, chip):
+    """Per-segment allocation of VGG-16 (Fig. 15(a))."""
+    rows = benchmark.pedantic(
+        lambda: allocation_report("vgg16", hardware=chip), rounds=1, iterations=1
+    )
+    record(benchmark, rows, render_report("vgg16", rows))
+    # Early layers grouped into shared segments, later layers on their own.
+    assert rows[0]["num_operators"] >= 2
+    # Every segment respects the chip budget.
+    assert all(r["compute_arrays"] + r["memory_arrays"] <= chip.num_arrays for r in rows)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15b_opt_allocation(benchmark, chip):
+    """Per-segment allocation of one OPT-6.7B layer (Fig. 15(b))."""
+    rows = benchmark.pedantic(
+        lambda: allocation_report("opt-6.7b", hardware=chip), rounds=1, iterations=1
+    )
+    record(benchmark, rows, render_report("opt-6.7b", rows))
+    # The transformer layer places a meaningful share of arrays in memory mode.
+    assert any(row["memory_arrays"] > 0 for row in rows)

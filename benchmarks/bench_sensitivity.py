@@ -1,0 +1,44 @@
+"""Hardware sensitivity sweep (extension beyond the paper's evaluation).
+
+Sweeps individual DEHA parameters around the DynaPlasia-like operating
+point and records how the CMSwitch advantage over CIM-MLC responds.  The
+expectations encoded here follow the paper's arguments: dual-mode
+awareness never hurts, and a dramatically slower mode switch erodes (but
+does not invert) the benefit because the compiler's DP charges the switch
+cost and falls back to fixed-mode plans when switching stops paying off.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.experiments.sensitivity import render_report, run_sensitivity
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_hardware_sensitivity(benchmark, chip, grids):
+    """CMSwitch-over-CIM-MLC speedup across DEHA parameter sweeps."""
+    sweeps = {
+        "num_arrays": (48, 96, 192),
+        "extern_bw_bits": (512, 4096),
+        "switch_latency": (1, 4096),
+    }
+
+    def run():
+        return run_sensitivity(
+            model="llama2-7b", batch_size=4, seq_len=64, hardware=chip, sweeps=sweeps
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, rows, render_report(rows))
+
+    # Dual-mode awareness never loses, under any swept configuration.
+    assert all(row["speedup_vs_cim-mlc"] >= 0.99 for row in rows)
+
+    # A slower off-chip link increases the value of on-chip memory mode.
+    by_bw = {
+        row["value"]: row["speedup_vs_cim-mlc"]
+        for row in rows
+        if row["parameter"] == "extern_bw_bits"
+    }
+    assert by_bw[512] >= by_bw[4096] - 0.02

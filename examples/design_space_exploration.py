@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the dual-mode hardware abstraction.
+
+Because the compiler only sees the chip through the DEHA parameters, it
+doubles as a quick architecture-exploration tool: sweep the array count,
+array size or mode-switch latency and watch how the optimal
+compute/memory split and the achievable latency move.  This example
+
+* reproduces the motivation sweep (how the best compute-mode ratio differs
+  between ResNet-50 and LLaMA 2, Fig. 1(b)),
+* compares the DynaPlasia-like target against a PRIME-like ReRAM chip
+  (the §5.5 scalability study),
+* sweeps the number of dual-mode arrays to show where extra arrays stop
+  paying off for a fixed workload.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from repro.analysis import mode_ratio_sweep
+from repro.baselines import CIMMLCCompiler
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.experiments import prime_scalability
+from repro.hardware import dynaplasia, prime
+from repro.models import Phase, Workload, build_model
+
+
+def motivation_sweep() -> None:
+    """Best compute-mode ratio per model (Fig. 1(b))."""
+    hardware = dynaplasia(num_arrays=100)
+    print("best compute-mode ratio on a 100-array chip:")
+    for model, phase in (("resnet50", Phase.PREFILL), ("llama2-7b", Phase.DECODE)):
+        graph = build_model(model, Workload(batch_size=1, seq_len=64, phase=phase))
+        sweep = mode_ratio_sweep(graph, hardware)
+        print(f"  {model:12s} -> {sweep.best_ratio * 100:4.0f}% compute mode")
+    print()
+
+
+def prime_comparison() -> None:
+    """CMSwitch on a PRIME-like ReRAM target (§5.5)."""
+    print("PRIME-like ReRAM target (speedup of CMSwitch over CIM-MLC):")
+    for row in prime_scalability():
+        print(f"  {row['model']:12s} {row['speedup_vs_cim-mlc']:.2f}x "
+              f"(memory-array ratio {row['memory_array_ratio'] * 100:.1f}%)")
+    print()
+
+
+def array_count_sweep() -> None:
+    """How latency scales with the number of dual-mode arrays."""
+    graph = build_model("resnet18", Workload(batch_size=1))
+    print("ResNet-18 latency vs. number of dual-mode arrays (DynaPlasia-like):")
+    for num_arrays in (32, 64, 96, 128, 192):
+        hardware = dynaplasia(num_arrays=num_arrays)
+        options = CompilerOptions(generate_code=False)
+        cms = CMSwitchCompiler(hardware, options).compile(graph)
+        mlc = CIMMLCCompiler(hardware).compile(graph)
+        print(f"  {num_arrays:4d} arrays: CMSwitch {cms.end_to_end_ms:7.3f} ms, "
+              f"CIM-MLC {mlc.end_to_end_ms:7.3f} ms "
+              f"({mlc.end_to_end_cycles / cms.end_to_end_cycles:.2f}x)")
+    print()
+
+
+def main() -> None:
+    motivation_sweep()
+    prime_comparison()
+    array_count_sweep()
+
+
+if __name__ == "__main__":
+    main()

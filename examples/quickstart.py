@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a small CNN for a dual-mode CIM chip.
+
+This example walks through the whole public API in a couple of minutes:
+
+1. describe the target chip through the dual-mode hardware abstraction,
+2. build a network from the model zoo,
+3. compile it with CMSwitch (dynamic-programming segmentation plus
+   MIP-based compute/memory allocation),
+4. inspect the segment plans and the generated meta-operator flow,
+5. check the compiled mapping functionally and re-estimate its latency
+   with the timing simulator.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.hardware import small_test_chip
+from repro.models import Workload, build_model
+from repro.sim import FunctionalSimulator, TimingSimulator
+
+
+def main() -> None:
+    # 1. The hardware abstraction: a small dual-mode chip keeps the example
+    #    fast; swap in repro.hardware.dynaplasia() for the paper's target.
+    hardware = small_test_chip()
+    print(hardware.summary())
+    print()
+
+    # 2. A network from the model zoo (tiny CNN at 32x32 resolution).
+    graph = build_model("tiny-cnn", Workload(batch_size=1))
+    stats = graph.stats()
+    print(
+        f"model {graph.name}: {stats.num_operators} operators, "
+        f"{stats.total_macs / 1e6:.1f} MMACs, {stats.total_weight_bytes / 1e3:.1f} KB weights"
+    )
+    print()
+
+    # 3. Compile.  The options shown are the defaults; they are spelled out
+    #    here so the knobs are easy to discover.
+    options = CompilerOptions(
+        max_segment_operators=8,
+        use_milp=True,
+        include_switch_cost=True,
+        generate_code=True,
+    )
+    program = CMSwitchCompiler(hardware, options).compile(graph)
+    print(program.summary())
+    print()
+
+    # 4. Segment plans and the dual-mode meta-operator flow (Fig. 13 syntax).
+    for segment in program.segments:
+        print(segment.describe())
+    print()
+    print(program.meta_program.render())
+    print()
+
+    # 5. Verify the mapping and re-estimate latency by replaying the flow.
+    functional = FunctionalSimulator(hardware).run(program, graph)
+    print(functional.summary())
+    timing = TimingSimulator(hardware).run(program)
+    print(timing.summary())
+    print(f"compiler prediction: {program.graph_cycles:,.0f} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so `python setup.py develop` works without the wheel package."""
+from setuptools import setup
+
+setup()

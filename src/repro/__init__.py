@@ -1,0 +1,57 @@
+"""CMSwitch reproduction: a dual-mode-aware DNN compiler for CIM accelerators.
+
+This package reproduces the system described in *"Be CIM or Be Memory: A
+Dual-mode-aware DNN Compiler for CIM Accelerators"* (ASPLOS 2025): a
+compiler that decides, per network segment, how many of a CIM chip's
+dual-mode arrays should operate in compute mode (holding weights and
+executing MVMs in place) and how many in memory mode (serving as on-chip
+scratchpad for activations and KV caches), then schedules the network onto
+the chip and emits a dual-mode meta-operator flow.
+
+Quickstart::
+
+    from repro.hardware import dynaplasia
+    from repro.models import build_model, Workload
+    from repro.core import CMSwitchCompiler
+
+    hardware = dynaplasia()
+    graph = build_model("resnet18", Workload(batch_size=1))
+    program = CMSwitchCompiler(hardware).compile(graph)
+    print(program.summary())
+
+Sub-packages:
+
+* :mod:`repro.ir` -- computation-graph IR (ONNX-like substrate)
+* :mod:`repro.models` -- benchmark model zoo and workload descriptions
+* :mod:`repro.hardware` -- dual-mode hardware abstraction (DEHA) and presets
+* :mod:`repro.cost` -- latency and mode-switch cost models
+* :mod:`repro.core` -- the CMSwitch compiler (DP segmentation + MIP allocation)
+* :mod:`repro.baselines` -- PUMA / OCC / CIM-MLC baseline compilers
+* :mod:`repro.sim` -- functional and timing simulators
+* :mod:`repro.analysis`, :mod:`repro.experiments` -- paper figure/table harness
+"""
+
+from .core.compiler import CMSwitchCompiler, CompilerOptions, compile_model
+from .core.program import CompiledProgram, SegmentPlan
+from .hardware import DualModeHardwareAbstraction, dynaplasia, get_preset, prime, small_test_chip
+from .models import Phase, Workload, build_model, list_models
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CMSwitchCompiler",
+    "CompiledProgram",
+    "CompilerOptions",
+    "DualModeHardwareAbstraction",
+    "Phase",
+    "SegmentPlan",
+    "Workload",
+    "__version__",
+    "build_model",
+    "compile_model",
+    "dynaplasia",
+    "get_preset",
+    "list_models",
+    "prime",
+    "small_test_chip",
+]

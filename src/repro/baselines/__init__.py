@@ -1,0 +1,37 @@
+"""Baseline CIM compilers used in the paper's comparison (Fig. 14)."""
+
+from .base import BaselineCompiler
+from .cim_mlc import CIMMLCCompiler
+from .occ import OCCCompiler
+from .puma import PUMACompiler
+
+__all__ = [
+    "BaselineCompiler",
+    "CIMMLCCompiler",
+    "OCCCompiler",
+    "PUMACompiler",
+]
+
+
+def get_compiler(name: str, hardware, **kwargs):
+    """Build a compiler (baseline or CMSwitch) by name.
+
+    Args:
+        name: One of ``"cmswitch"``, ``"cim-mlc"``, ``"puma"``, ``"occ"``.
+        hardware: Hardware abstraction to target.
+        **kwargs: Forwarded to the compiler constructor.
+
+    Raises:
+        KeyError: If the compiler name is unknown.
+    """
+    from ..core.compiler import CMSwitchCompiler
+
+    registry = {
+        "cmswitch": CMSwitchCompiler,
+        "cim-mlc": CIMMLCCompiler,
+        "puma": PUMACompiler,
+        "occ": OCCCompiler,
+    }
+    if name not in registry:
+        raise KeyError(f"unknown compiler {name!r}; known: {', '.join(sorted(registry))}")
+    return registry[name](hardware, **kwargs)

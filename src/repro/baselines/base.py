@@ -1,0 +1,201 @@
+"""Shared machinery of the fixed-mode baseline compilers.
+
+The paper compares CMSwitch against three prior CIM compilers — PUMA,
+OCC and CIM-MLC.  All three treat every CIM array as a *compute* resource
+(no memory mode), so streamed data is served by the native buffer and the
+off-chip link only, and all intermediate data that exceeds the native
+buffer spills to main memory between segments.  They differ in their
+scheduling strategy:
+
+* **PUMA** — operator duplication plus cross-operator pipelining, with a
+  simple greedy segmentation that packs consecutive operators until the
+  chip is full.
+* **OCC** — per-operator mapping with tiling / loop unrolling; operators
+  execute one after another (no cross-operator pipeline, no duplication).
+* **CIM-MLC** — the strongest baseline: the same dynamic-programming
+  segmentation and pipelined scheduling CMSwitch uses (CMSwitch adopts its
+  kernel optimisations), but with every array fixed in compute mode.
+
+All of them reuse the CMSwitch cost model with ``allow_memory_mode=False``
+so comparisons isolate exactly the contribution the paper claims: the
+dual-mode dimension of the optimisation space.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cost.arithmetic import OperatorProfile
+from ..cost.latency import OperatorAllocation, segment_latency_cycles
+from ..cost.switching import (
+    SegmentResources,
+    aggregate_resources,
+    inter_segment_breakdown,
+)
+from ..core.allocation import GreedyAllocator, MIPAllocator, refine_with_spare_arrays
+from ..core.codegen import generate_program
+from ..core.program import CompiledProgram, SegmentPlan
+from ..core.segmentation import FlattenedUnit, flatten_graph, live_elements_at_boundary
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.graph import Graph
+
+
+class BaselineCompiler:
+    """Base class for fixed-mode (all-compute) baseline compilers."""
+
+    name = "baseline"
+    #: Whether operators within a segment execute as a pipeline.
+    pipelined = True
+    #: Whether spare arrays are used for weight duplication.
+    duplication = True
+
+    def __init__(
+        self,
+        hardware: DualModeHardwareAbstraction,
+        generate_code: bool = False,
+    ) -> None:
+        self.hardware = hardware
+        self.generate_code = generate_code
+
+    # ------------------------------------------------------------------ #
+    # strategy hooks
+    # ------------------------------------------------------------------ #
+    def segment_boundaries(self, units: Sequence[FlattenedUnit]) -> List[List[int]]:
+        """Group unit indices into segments.  Overridden per baseline."""
+        raise NotImplementedError
+
+    def allocate(self, profiles: Dict[str, OperatorProfile]) -> Dict[str, OperatorAllocation]:
+        """Fixed-mode allocation: minimum footprint plus optional duplication."""
+        allocations = {
+            name: OperatorAllocation(
+                compute_arrays=max(1, profile.min_compute_arrays(self.hardware)),
+                memory_arrays=0,
+            )
+            for name, profile in profiles.items()
+        }
+        if not self.duplication:
+            return allocations
+        # Spare arrays duplicate the bottleneck operator's weights.
+        from ..core.allocation import AllocationResult
+
+        interim = AllocationResult(
+            allocations=allocations,
+            latency_cycles=segment_latency_cycles(
+                profiles, allocations, self.hardware, pipelined=self.pipelined
+            ),
+            feasible=True,
+            solver=self.name,
+        )
+        refined = _refine_compute_only(interim, profiles, self.hardware, self.pipelined)
+        return refined.allocations
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, graph: Graph) -> CompiledProgram:
+        """Compile ``graph`` with this baseline's scheduling strategy."""
+        start = time.perf_counter()
+        units = flatten_graph(graph, self.hardware)
+        groups = self.segment_boundaries(units) if units else []
+        segments: List[SegmentPlan] = []
+        previous_resources: Optional[SegmentResources] = None
+        for seg_index, indices in enumerate(groups):
+            members = [units[i] for i in indices]
+            profiles = {unit.name: unit.profile for unit in members}
+            allocations = self.allocate(profiles)
+            intra = segment_latency_cycles(
+                profiles, allocations, self.hardware, pipelined=self.pipelined
+            )
+            boundary = indices[-1]
+            live = (
+                live_elements_at_boundary(units, boundary)
+                if boundary + 1 < len(units)
+                else 0
+            )
+            resources = aggregate_resources(
+                profiles,
+                allocations,
+                live_output_elements=live,
+                num_arrays_total=self.hardware.num_arrays,
+            )
+            breakdown = inter_segment_breakdown(
+                previous_resources,
+                resources,
+                profiles,
+                allocations,
+                self.hardware,
+                allow_boundary_buffering=False,
+            )
+            segments.append(
+                SegmentPlan(
+                    index=seg_index,
+                    operator_names=[unit.name for unit in members],
+                    allocations=allocations,
+                    profiles=profiles,
+                    intra_cycles=intra,
+                    inter_cycles=sum(breakdown.values()),
+                    inter_breakdown=breakdown,
+                    resources=resources,
+                )
+            )
+            previous_resources = resources
+        meta_program = None
+        if self.generate_code and segments:
+            meta_program = generate_program(graph.name, segments, self.hardware)
+        elapsed = time.perf_counter() - start
+        return CompiledProgram(
+            graph_name=graph.name,
+            compiler_name=self.name,
+            hardware=self.hardware,
+            segments=segments,
+            block_repeat=float(graph.metadata.get("block_repeat", 1.0)),
+            compile_seconds=elapsed,
+            metadata={"graph_metadata": dict(graph.metadata)},
+            meta_program=meta_program,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _greedy_pack(self, units: Sequence[FlattenedUnit], limit: Optional[int] = None) -> List[List[int]]:
+        """Pack consecutive units into segments until the chip is full."""
+        groups: List[List[int]] = []
+        current: List[int] = []
+        used = 0
+        for unit in units:
+            need = max(1, unit.profile.min_compute_arrays(self.hardware))
+            too_many_ops = limit is not None and len(current) >= limit
+            if current and (used + need > self.hardware.num_arrays or too_many_ops):
+                groups.append(current)
+                current = []
+                used = 0
+            current.append(unit.index)
+            used += need
+        if current:
+            groups.append(current)
+        return groups
+
+
+def _refine_compute_only(result, profiles, hardware, pipelined):
+    """Duplication refinement restricted to compute-mode growth."""
+    from ..core.allocation import AllocationResult
+    from ..cost.latency import operator_latency_cycles
+
+    allocations = dict(result.allocations)
+    remaining = hardware.num_arrays - sum(a.total_arrays for a in allocations.values())
+
+    def latency_of(name: str) -> float:
+        return operator_latency_cycles(profiles[name], allocations[name], hardware)
+
+    while remaining > 0:
+        bottleneck = max(allocations, key=latency_of)
+        current = allocations[bottleneck]
+        grown = OperatorAllocation(current.compute_arrays + 1, 0)
+        if operator_latency_cycles(profiles[bottleneck], grown, hardware) >= latency_of(bottleneck) - 1e-9:
+            break
+        allocations[bottleneck] = grown
+        remaining -= 1
+    latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+    return AllocationResult(allocations, latency, True, result.solver)

@@ -1,0 +1,28 @@
+"""OCC-style baseline compiler (Siemieniuk et al., TCAD 2021).
+
+OCC is an MLIR-based end-to-end compiler that optimises **operator mapping
+via tiling and loop unrolling**.  Each operator is mapped and executed on
+its own: the tiling uses the whole chip for the running operator (so
+per-operator latency is competitive), but there is no cross-operator
+pipelining and no duplication-aware segment packing, and every array is a
+compute array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.segmentation import FlattenedUnit
+from .base import BaselineCompiler
+
+
+class OCCCompiler(BaselineCompiler):
+    """One-operator-at-a-time, tiling-only, all-compute baseline."""
+
+    name = "occ"
+    pipelined = False
+    duplication = True
+
+    def segment_boundaries(self, units: Sequence[FlattenedUnit]) -> List[List[int]]:
+        """Every operator forms its own segment (serial execution)."""
+        return [[unit.index] for unit in units]

@@ -1,0 +1,32 @@
+"""PUMA-style baseline compiler (Ankit et al., ASPLOS 2019).
+
+PUMA focuses on **operator duplication and pipeline scheduling**: weights
+of consecutive operators are mapped onto the crossbars, spare crossbars
+replicate the bottleneck operator, and operators stream through a
+pipeline.  Segmentation is a simple greedy packing — operators are added
+to the current segment until the chip runs out of arrays — without the
+mode-switch- or spill-aware dynamic program of CMSwitch, and every array
+stays in compute mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.segmentation import FlattenedUnit
+from .base import BaselineCompiler
+
+
+class PUMACompiler(BaselineCompiler):
+    """Greedy-packing, duplication + pipelining, all-compute baseline."""
+
+    name = "puma"
+    pipelined = True
+    duplication = True
+    #: Maximum operators per pipeline stage group — the same pipeline-depth
+    #: limit the control hardware imposes on every compiler under test.
+    max_segment_operators = 8
+
+    def segment_boundaries(self, units: Sequence[FlattenedUnit]) -> List[List[int]]:
+        """Pack consecutive operators until the arrays are exhausted."""
+        return self._greedy_pack(units, limit=self.max_segment_operators)

@@ -1,0 +1,197 @@
+"""Command-line interface for the CMSwitch reproduction.
+
+Installed as ``python -m repro.cli`` (or used programmatically through
+:func:`main`).  Sub-commands:
+
+* ``models`` — list the registered benchmark networks.
+* ``hardware`` — show a hardware preset's DEHA parameters.
+* ``compile`` — compile one model for one hardware preset and print the
+  plan summary (optionally the meta-operator flow and per-segment table).
+* ``compare`` — compile with CMSwitch and the baselines and print speedups.
+* ``experiment`` — run one of the paper-figure experiments.
+
+Examples::
+
+    python -m repro.cli compile llama2-7b --hardware dynaplasia --batch 1 --seq-len 128
+    python -m repro.cli compare resnet18 --batch 8
+    python -m repro.cli experiment fig14 --batch-sizes 1 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import CIMMLCCompiler, OCCCompiler, PUMACompiler
+from .core.compiler import CMSwitchCompiler, CompilerOptions
+from .hardware.presets import PRESETS, get_preset
+from .models.registry import build_model, is_transformer, list_models
+from .models.workload import Phase, Workload
+
+
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    """Build a workload from the shared CLI arguments."""
+    phase = Phase(args.phase) if args.phase else (
+        Phase.ENCODE if is_transformer(args.model) else Phase.PREFILL
+    )
+    return Workload(
+        batch_size=args.batch,
+        seq_len=args.seq_len,
+        output_len=args.output_len,
+        phase=phase,
+    )
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", help="registered model name (see the 'models' command)")
+    parser.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
+    parser.add_argument("--batch", type=int, default=1, help="batch size")
+    parser.add_argument("--seq-len", type=int, default=64, help="input sequence length")
+    parser.add_argument("--output-len", type=int, default=64, help="generated tokens")
+    parser.add_argument(
+        "--phase",
+        choices=[phase.value for phase in Phase],
+        default=None,
+        help="transformer phase (default: encode for transformers)",
+    )
+
+
+def cmd_models(_: argparse.Namespace) -> int:
+    """List registered models."""
+    for name in list_models():
+        print(name)
+    return 0
+
+
+def cmd_hardware(args: argparse.Namespace) -> int:
+    """Print a hardware preset summary."""
+    print(get_preset(args.preset).summary())
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile one model and print the plan."""
+    hardware = get_preset(args.hardware)
+    graph = build_model(args.model, _workload_from_args(args))
+    options = CompilerOptions(generate_code=args.show_metaops)
+    program = CMSwitchCompiler(hardware, options).compile(graph)
+    print(program.summary())
+    if args.show_segments:
+        print()
+        for segment in program.segments:
+            print(segment.describe())
+    if args.show_metaops and program.meta_program is not None:
+        print()
+        print(program.meta_program.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compile with every compiler and print normalised latencies."""
+    hardware = get_preset(args.hardware)
+    graph = build_model(args.model, _workload_from_args(args))
+    compilers = {
+        "puma": PUMACompiler(hardware),
+        "occ": OCCCompiler(hardware),
+        "cim-mlc": CIMMLCCompiler(hardware),
+        "cmswitch": CMSwitchCompiler(hardware, CompilerOptions(generate_code=False)),
+    }
+    results = {name: compiler.compile(graph) for name, compiler in compilers.items()}
+    baseline = results["cim-mlc"].end_to_end_cycles
+    print(f"{'compiler':10s} {'latency (ms)':>14s} {'vs CIM-MLC':>12s} {'memory arrays':>14s}")
+    for name, program in results.items():
+        print(
+            f"{name:10s} {program.end_to_end_ms:14.3f} "
+            f"{baseline / program.end_to_end_cycles:11.2f}x "
+            f"{100 * program.mean_memory_array_ratio:13.1f}%"
+        )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper-figure experiments and print its report."""
+    from .experiments import end_to_end, generative, workload_scale
+    from .experiments import allocation_report as allocation
+    from .experiments import compile_time, overheads
+    from .hardware.presets import dynaplasia
+
+    hardware = get_preset(args.hardware)
+    if args.figure == "fig14":
+        rows = end_to_end.run_end_to_end(
+            hardware=hardware, batch_sizes=tuple(args.batch_sizes)
+        )
+        print(end_to_end.render_report(rows))
+    elif args.figure == "fig16":
+        rows = workload_scale.run_workload_scale(
+            hardware=hardware,
+            batch_sizes=tuple(args.batch_sizes),
+            sequence_lengths=tuple(args.sequence_lengths),
+        )
+        print(workload_scale.render_report(rows))
+    elif args.figure == "fig17":
+        rows = generative.run_generative(
+            hardware=hardware, lengths=tuple(args.sequence_lengths)
+        )
+        print(generative.render_report(rows))
+    elif args.figure == "fig15":
+        for model in ("vgg16", "opt-6.7b"):
+            rows = allocation.allocation_report(model, hardware=hardware)
+            print(allocation.render_report(model, rows))
+            print()
+    elif args.figure == "fig18":
+        rows = compile_time.measure_compile_time(hardware=hardware)
+        print(compile_time.render_report(rows))
+    elif args.figure == "sec5.5":
+        print(overheads.render_switch_report(overheads.switch_overhead(hardware=hardware)))
+        print()
+        print(overheads.render_prime_report(overheads.prime_scalability()))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown figure {args.figure!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CMSwitch dual-mode CIM compiler (paper reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="list registered models")
+    models.set_defaults(func=cmd_models)
+
+    hardware = sub.add_parser("hardware", help="show a hardware preset")
+    hardware.add_argument("preset", choices=sorted(PRESETS))
+    hardware.set_defaults(func=cmd_hardware)
+
+    compile_cmd = sub.add_parser("compile", help="compile a model with CMSwitch")
+    _add_workload_arguments(compile_cmd)
+    compile_cmd.add_argument("--show-segments", action="store_true", help="print segment plans")
+    compile_cmd.add_argument("--show-metaops", action="store_true", help="print the DMO flow")
+    compile_cmd.set_defaults(func=cmd_compile)
+
+    compare = sub.add_parser("compare", help="compare CMSwitch against the baselines")
+    _add_workload_arguments(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
+    experiment.add_argument(
+        "figure", choices=["fig14", "fig15", "fig16", "fig17", "fig18", "sec5.5"]
+    )
+    experiment.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
+    experiment.add_argument("--batch-sizes", type=int, nargs="+", default=[1])
+    experiment.add_argument("--sequence-lengths", type=int, nargs="+", default=[32, 256])
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""CMSwitch compiler core: segmentation, allocation, code generation."""
+
+from .allocation import (
+    AllocationCandidate,
+    AllocationResult,
+    GreedyAllocator,
+    MIPAllocator,
+    allocate_segment,
+    candidate_allocations,
+    minimum_compute_arrays,
+    refine_with_spare_arrays,
+    segment_fits,
+)
+from .codegen import CodeGenerationError, generate_program
+from .compiler import CMSwitchCompiler, CompilerOptions, compile_model
+from .metaop import (
+    ComputeOp,
+    MemoryReadOp,
+    MemoryWriteOp,
+    MetaOperator,
+    MetaProgram,
+    ParallelBlock,
+    SwitchOp,
+    SwitchType,
+    WeightLoadOp,
+)
+from .program import CompiledProgram, SegmentPlan
+from .segmentation import (
+    FlattenedUnit,
+    NetworkSegmenter,
+    SegmentationOptions,
+    SegmentationResult,
+    flatten_graph,
+    live_elements_at_boundary,
+)
+
+__all__ = [
+    "AllocationCandidate",
+    "AllocationResult",
+    "CMSwitchCompiler",
+    "CodeGenerationError",
+    "CompiledProgram",
+    "CompilerOptions",
+    "ComputeOp",
+    "FlattenedUnit",
+    "GreedyAllocator",
+    "MIPAllocator",
+    "MemoryReadOp",
+    "MemoryWriteOp",
+    "MetaOperator",
+    "MetaProgram",
+    "NetworkSegmenter",
+    "ParallelBlock",
+    "SegmentPlan",
+    "SegmentationOptions",
+    "SegmentationResult",
+    "SwitchOp",
+    "SwitchType",
+    "WeightLoadOp",
+    "allocate_segment",
+    "candidate_allocations",
+    "compile_model",
+    "flatten_graph",
+    "generate_program",
+    "live_elements_at_boundary",
+    "minimum_compute_arrays",
+    "refine_with_spare_arrays",
+    "segment_fits",
+]

@@ -1,0 +1,469 @@
+"""Per-segment dual-mode resource allocation (§4.3.2 of the paper).
+
+Given the operators of one network segment, the allocator decides how many
+arrays each operator receives in compute mode and how many in memory mode
+so that the pipelined segment latency (Eq. 9 with the Eq. 10 latency
+model) is minimised under the chip's array budget (Eq. 8).
+
+Two interchangeable engines are provided:
+
+* :class:`MIPAllocator` — the paper's approach: a mixed-integer program.
+  For every operator a small Pareto set of candidate ``(compute, memory)``
+  allocations is enumerated; binary selection variables pick one candidate
+  per operator, a continuous makespan variable ``T`` upper-bounds every
+  selected latency, and the array budget couples the operators.  The MILP
+  is solved with ``scipy.optimize.milp`` (HiGHS) — the offline stand-in
+  for the Gurobi solver used in the paper.
+* :class:`GreedyAllocator` — a fast marginal-gain heuristic used as a
+  fallback, as a cross-check in tests and for the allocation ablation.
+
+Both return an :class:`AllocationResult`; leftover arrays are always
+redistributed by :func:`refine_with_spare_arrays` (weight duplication and
+extra buffering, the paper's post-allocation optimisation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cost.arithmetic import OperatorProfile
+from ..cost.latency import (
+    INFEASIBLE_LATENCY,
+    OperatorAllocation,
+    operator_latency_cycles,
+    segment_latency_cycles,
+)
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.transforms import ceil_div
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of allocating one segment.
+
+    Attributes:
+        allocations: Per-operator allocation.
+        latency_cycles: Pipelined segment latency under the allocation.
+        feasible: Whether the segment fits the chip at all.
+        solver: Which engine produced the result ("milp", "greedy",
+            "single", "infeasible").
+    """
+
+    allocations: Dict[str, OperatorAllocation]
+    latency_cycles: float
+    feasible: bool
+    solver: str
+
+    @property
+    def total_arrays(self) -> int:
+        """Total arrays used."""
+        return sum(a.total_arrays for a in self.allocations.values())
+
+    @property
+    def compute_arrays(self) -> int:
+        """Total compute-mode arrays used."""
+        return sum(a.compute_arrays for a in self.allocations.values())
+
+    @property
+    def memory_arrays(self) -> int:
+        """Total memory-mode arrays used."""
+        return sum(a.memory_arrays for a in self.allocations.values())
+
+
+def infeasible_result() -> AllocationResult:
+    """Result representing a segment that cannot be mapped onto the chip."""
+    return AllocationResult(
+        allocations={}, latency_cycles=INFEASIBLE_LATENCY, feasible=False, solver="infeasible"
+    )
+
+
+def minimum_compute_arrays(
+    profiles: Mapping[str, OperatorProfile], hardware: DualModeHardwareAbstraction
+) -> int:
+    """Fewest compute arrays the segment needs just to hold its operands."""
+    return sum(max(1, p.min_compute_arrays(hardware)) for p in profiles.values())
+
+
+def segment_fits(
+    profiles: Mapping[str, OperatorProfile],
+    hardware: DualModeHardwareAbstraction,
+    allow_memory_mode: bool = True,
+) -> bool:
+    """Whether the segment's minimum footprint fits the array budget."""
+    del allow_memory_mode  # the minimum footprint uses no memory arrays
+    return minimum_compute_arrays(profiles, hardware) <= hardware.num_arrays
+
+
+# ---------------------------------------------------------------------- #
+# candidate enumeration
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AllocationCandidate:
+    """One candidate allocation for a single operator."""
+
+    compute_arrays: int
+    memory_arrays: int
+    latency_cycles: float
+
+    @property
+    def total_arrays(self) -> int:
+        """Arrays the candidate consumes."""
+        return self.compute_arrays + self.memory_arrays
+
+    def to_allocation(self) -> OperatorAllocation:
+        """Convert to an :class:`OperatorAllocation`."""
+        return OperatorAllocation(self.compute_arrays, self.memory_arrays)
+
+
+def candidate_allocations(
+    profile: OperatorProfile,
+    hardware: DualModeHardwareAbstraction,
+    max_arrays: int,
+    allow_memory_mode: bool = True,
+    max_candidates: int = 24,
+) -> List[AllocationCandidate]:
+    """Pareto-optimal (arrays, latency) candidates for one operator.
+
+    Compute counts are swept geometrically from the operator's minimum
+    footprint up to the budget; memory counts from zero up to the number
+    of arrays that fully buffer the working set.  Dominated candidates
+    (more arrays and no lower latency) are discarded, keeping the MILP
+    small without losing the optimum at the granularity of the sweep.
+    """
+    min_compute = max(1, profile.min_compute_arrays(hardware))
+    if min_compute > max_arrays:
+        return []
+    mem_cap = profile.memory_arrays_for_working_set(hardware) if allow_memory_mode else 0
+    mem_cap = min(mem_cap, max_arrays - min_compute)
+
+    compute_options = _geometric_range(min_compute, max_arrays)
+    memory_options = [0] + _geometric_range(1, mem_cap) if mem_cap > 0 else [0]
+
+    raw: List[AllocationCandidate] = []
+    for compute in compute_options:
+        for memory in memory_options:
+            if compute + memory > max_arrays:
+                continue
+            latency = operator_latency_cycles(
+                profile, OperatorAllocation(compute, memory), hardware
+            )
+            raw.append(AllocationCandidate(compute, memory, latency))
+
+    # Pareto filter on (total arrays, latency).
+    raw.sort(key=lambda c: (c.total_arrays, c.latency_cycles))
+    pareto: List[AllocationCandidate] = []
+    best_latency = INFEASIBLE_LATENCY
+    for candidate in raw:
+        if candidate.latency_cycles < best_latency - 1e-9:
+            pareto.append(candidate)
+            best_latency = candidate.latency_cycles
+    if not pareto and raw:
+        pareto = [raw[0]]
+    if len(pareto) > max_candidates:
+        # Keep the extremes and thin the middle uniformly.
+        indices = np.linspace(0, len(pareto) - 1, max_candidates).round().astype(int)
+        pareto = [pareto[i] for i in sorted(set(indices.tolist()))]
+    return pareto
+
+
+def _geometric_range(lo: int, hi: int) -> List[int]:
+    """Integers from ``lo`` to ``hi`` with geometric spacing (both included)."""
+    if hi < lo:
+        return []
+    values = {lo, hi}
+    value = lo
+    while value < hi:
+        value = max(value + 1, int(value * 1.5))
+        values.add(min(value, hi))
+    return sorted(values)
+
+
+# ---------------------------------------------------------------------- #
+# greedy allocator
+# ---------------------------------------------------------------------- #
+class GreedyAllocator:
+    """Marginal-gain heuristic allocator.
+
+    Every operator starts at its minimum compute footprint; remaining
+    arrays are handed out one at a time to the operator currently bounding
+    the segment (the one with the highest latency), in whichever mode
+    (compute duplication or memory buffering) reduces that latency most.
+    """
+
+    name = "greedy"
+
+    def __init__(self, allow_memory_mode: bool = True) -> None:
+        self.allow_memory_mode = allow_memory_mode
+
+    def allocate(
+        self,
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        pipelined: bool = True,
+    ) -> AllocationResult:
+        """Allocate the segment; see class docstring for the policy."""
+        if not profiles:
+            return AllocationResult({}, 0.0, True, self.name)
+        allocations: Dict[str, OperatorAllocation] = {}
+        for name, profile in profiles.items():
+            allocations[name] = OperatorAllocation(
+                compute_arrays=max(1, profile.min_compute_arrays(hardware)), memory_arrays=0
+            )
+        used = sum(a.total_arrays for a in allocations.values())
+        if used > hardware.num_arrays:
+            return infeasible_result()
+
+        def latency_of(name: str, allocation: OperatorAllocation) -> float:
+            return operator_latency_cycles(profiles[name], allocation, hardware)
+
+        remaining = hardware.num_arrays - used
+        while remaining > 0:
+            bottleneck = max(allocations, key=lambda n: latency_of(n, allocations[n]))
+            current = allocations[bottleneck]
+            current_latency = latency_of(bottleneck, current)
+            grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
+            options = [(latency_of(bottleneck, grow_compute), grow_compute)]
+            if self.allow_memory_mode:
+                grow_memory = OperatorAllocation(current.compute_arrays, current.memory_arrays + 1)
+                options.append((latency_of(bottleneck, grow_memory), grow_memory))
+            best_latency, best_allocation = min(options, key=lambda item: item[0])
+            if best_latency >= current_latency - 1e-9:
+                break  # the bottleneck cannot be improved further
+            allocations[bottleneck] = best_allocation
+            remaining -= 1
+
+        latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+        return AllocationResult(allocations, latency, True, self.name)
+
+
+# ---------------------------------------------------------------------- #
+# MILP allocator
+# ---------------------------------------------------------------------- #
+class MIPAllocator:
+    """Mixed-integer-programming allocator (the paper's §4.3.2 solver).
+
+    One binary variable per (operator, candidate allocation) pair selects
+    exactly one candidate per operator; a continuous makespan variable is
+    lower-bounded by every selected candidate's latency; the total array
+    consumption is bounded by the chip budget (Eq. 8).  Minimising the
+    makespan yields the Eq. 9 objective.
+    """
+
+    name = "milp"
+
+    def __init__(
+        self,
+        allow_memory_mode: bool = True,
+        max_candidates_per_operator: int = 24,
+        time_limit_seconds: float = 10.0,
+    ) -> None:
+        self.allow_memory_mode = allow_memory_mode
+        self.max_candidates_per_operator = max_candidates_per_operator
+        self.time_limit_seconds = time_limit_seconds
+
+    def allocate(
+        self,
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        pipelined: bool = True,
+    ) -> AllocationResult:
+        """Solve the per-segment allocation MILP."""
+        if not profiles:
+            return AllocationResult({}, 0.0, True, self.name)
+        names = list(profiles)
+        candidates: Dict[str, List[AllocationCandidate]] = {}
+        for name in names:
+            options = candidate_allocations(
+                profiles[name],
+                hardware,
+                hardware.num_arrays,
+                allow_memory_mode=self.allow_memory_mode,
+                max_candidates=self.max_candidates_per_operator,
+            )
+            if not options:
+                return infeasible_result()
+            candidates[name] = options
+
+        solution = self._solve_milp(names, candidates, hardware)
+        if solution is None:
+            # Fall back to the greedy heuristic (also used when HiGHS
+            # declares the model infeasible due to candidate pruning).
+            return GreedyAllocator(self.allow_memory_mode).allocate(
+                profiles, hardware, pipelined=pipelined
+            )
+        allocations = {name: candidates[name][k].to_allocation() for name, k in solution.items()}
+        latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+        return AllocationResult(allocations, latency, True, self.name)
+
+    def _solve_milp(
+        self,
+        names: Sequence[str],
+        candidates: Mapping[str, List[AllocationCandidate]],
+        hardware: DualModeHardwareAbstraction,
+    ) -> Optional[Dict[str, int]]:
+        """Build and solve the MILP; returns chosen candidate index per op."""
+        try:
+            from scipy.optimize import Bounds, LinearConstraint, milp
+        except ImportError:  # pragma: no cover - scipy is a hard dependency
+            return None
+
+        offsets: Dict[str, int] = {}
+        num_binaries = 0
+        for name in names:
+            offsets[name] = num_binaries
+            num_binaries += len(candidates[name])
+        t_index = num_binaries
+        num_vars = num_binaries + 1
+
+        # Normalise latencies so the makespan variable is well-scaled.
+        scale = max(
+            max(c.latency_cycles for c in candidates[name] if math.isfinite(c.latency_cycles))
+            for name in names
+        )
+        scale = max(scale, 1.0)
+
+        objective = np.zeros(num_vars)
+        objective[t_index] = 1.0
+
+        constraints = []
+        # Exactly one candidate per operator.
+        for name in names:
+            row = np.zeros(num_vars)
+            for k in range(len(candidates[name])):
+                row[offsets[name] + k] = 1.0
+            constraints.append(LinearConstraint(row, lb=1.0, ub=1.0))
+        # Makespan dominates every selected latency.
+        for name in names:
+            row = np.zeros(num_vars)
+            for k, candidate in enumerate(candidates[name]):
+                latency = candidate.latency_cycles
+                row[offsets[name] + k] = (
+                    latency / scale if math.isfinite(latency) else 1e6
+                )
+            row[t_index] = -1.0
+            constraints.append(LinearConstraint(row, lb=-np.inf, ub=0.0))
+        # Array budget.
+        row = np.zeros(num_vars)
+        for name in names:
+            for k, candidate in enumerate(candidates[name]):
+                row[offsets[name] + k] = candidate.total_arrays
+        constraints.append(LinearConstraint(row, lb=-np.inf, ub=float(hardware.num_arrays)))
+
+        integrality = np.ones(num_vars)
+        integrality[t_index] = 0.0
+        lower = np.zeros(num_vars)
+        upper = np.ones(num_vars)
+        upper[t_index] = np.inf
+        bounds = Bounds(lb=lower, ub=upper)
+
+        result = milp(
+            c=objective,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options={"time_limit": self.time_limit_seconds, "presolve": True},
+        )
+        if not result.success or result.x is None:
+            return None
+        chosen: Dict[str, int] = {}
+        for name in names:
+            block = result.x[offsets[name] : offsets[name] + len(candidates[name])]
+            chosen[name] = int(np.argmax(block))
+        return chosen
+
+
+# ---------------------------------------------------------------------- #
+# post-allocation refinement (weight duplication)
+# ---------------------------------------------------------------------- #
+def refine_with_spare_arrays(
+    result: AllocationResult,
+    profiles: Mapping[str, OperatorProfile],
+    hardware: DualModeHardwareAbstraction,
+    pipelined: bool = True,
+    allow_memory_mode: bool = True,
+    reserve_arrays: int = 0,
+) -> AllocationResult:
+    """Hand leftover arrays to the bottleneck operator (weight duplication).
+
+    The paper applies weight duplication as a post-allocation optimisation
+    "commonly used in CIM compilation" — spare arrays replicate the
+    bottleneck operator's weights (or extend its buffers) so the pipelined
+    segment latency drops further.  The refinement never worsens latency.
+
+    Args:
+        allow_memory_mode: Whether spare arrays may also grow an operator's
+            memory-mode buffer (False for fixed-mode baselines).
+        reserve_arrays: Arrays to leave untouched — the segmentation pass
+            reserves them as boundary buffers for live inter-segment data.
+    """
+    if not result.feasible or not result.allocations:
+        return result
+    allocations = dict(result.allocations)
+    used = sum(a.total_arrays for a in allocations.values())
+    remaining = hardware.num_arrays - used - max(0, reserve_arrays)
+    if remaining <= 0:
+        return result
+
+    def latency_of(name: str) -> float:
+        return operator_latency_cycles(profiles[name], allocations[name], hardware)
+
+    improved = False
+    while remaining > 0:
+        bottleneck = max(allocations, key=latency_of)
+        current = allocations[bottleneck]
+        current_latency = latency_of(bottleneck)
+        grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
+        options = [
+            (operator_latency_cycles(profiles[bottleneck], grow_compute, hardware), grow_compute),
+        ]
+        if allow_memory_mode:
+            grow_memory = OperatorAllocation(current.compute_arrays, current.memory_arrays + 1)
+            options.append(
+                (operator_latency_cycles(profiles[bottleneck], grow_memory, hardware), grow_memory)
+            )
+        best_latency, best_allocation = min(options, key=lambda item: item[0])
+        if best_latency >= current_latency - 1e-9:
+            break
+        allocations[bottleneck] = best_allocation
+        remaining -= 1
+        improved = True
+    if not improved:
+        return result
+    latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+    return AllocationResult(allocations, latency, True, result.solver)
+
+
+def allocate_segment(
+    profiles: Mapping[str, OperatorProfile],
+    hardware: DualModeHardwareAbstraction,
+    allocator: Optional[object] = None,
+    pipelined: bool = True,
+    refine: bool = True,
+    reserve_arrays: int = 0,
+) -> AllocationResult:
+    """Allocate one segment end to end (solver + duplication refinement).
+
+    Args:
+        reserve_arrays: Arrays withheld from duplication so the
+            segmentation pass can dedicate them to boundary buffering.
+            Feasibility is always checked against the full chip.
+    """
+    engine = allocator if allocator is not None else MIPAllocator()
+    if not segment_fits(profiles, hardware):
+        return infeasible_result()
+    allow_memory_mode = getattr(engine, "allow_memory_mode", True)
+    result = engine.allocate(profiles, hardware, pipelined=pipelined)
+    if refine and result.feasible:
+        result = refine_with_spare_arrays(
+            result,
+            profiles,
+            hardware,
+            pipelined=pipelined,
+            allow_memory_mode=allow_memory_mode,
+            reserve_arrays=reserve_arrays,
+        )
+    return result

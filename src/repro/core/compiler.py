@@ -1,0 +1,159 @@
+"""CMSwitch compiler facade.
+
+:class:`CMSwitchCompiler` is the public entry point of the library: it
+takes a computation graph and a dual-mode hardware abstraction and runs
+the full DACO pipeline of the paper —
+
+1. flatten the graph and partition oversized operators,
+2. dynamic-programming network segmentation with mode-switch awareness,
+3. per-segment MIP allocation of compute / memory arrays with pipelined
+   scheduling and weight-duplication refinement,
+4. code generation into the dual-mode meta-operator flow (DMO).
+
+The result is a :class:`~repro.core.program.CompiledProgram` that the
+timing and functional simulators (and the benchmark harness) consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.graph import Graph
+from .codegen import generate_program
+from .program import CompiledProgram
+from .segmentation import NetworkSegmenter, SegmentationOptions
+
+
+@dataclass
+class CompilerOptions:
+    """User-facing compilation options.
+
+    Attributes:
+        max_segment_operators: DP window — maximum operators per segment.
+        pipelined: Pipeline operators within a segment (Eq. 9 objective).
+        include_switch_cost: Charge the Eq. 1 mode-switch latency in the DP.
+        use_milp: Use the MILP per-segment allocator (otherwise greedy).
+        refine: Apply weight-duplication refinement after allocation.
+        allow_memory_mode: Allow arrays in memory mode.  Setting this to
+            False degenerates CMSwitch into a fixed-mode compiler and is
+            used by baselines/ablations.
+        fixed_mode_fallback: Also evaluate the fixed-mode (all-compute)
+            plan and keep whichever is faster.  The dual-mode optimisation
+            space strictly contains the fixed-mode space, so a production
+            compiler never ships a plan worse than the fixed-mode one; the
+            extra pass is part of CMSwitch's larger compilation time
+            (Fig. 18).
+        generate_code: Emit the meta-operator flow alongside the plan.
+    """
+
+    max_segment_operators: int = 8
+    pipelined: bool = True
+    include_switch_cost: bool = True
+    use_milp: bool = True
+    refine: bool = True
+    allow_memory_mode: bool = True
+    fixed_mode_fallback: bool = True
+    generate_code: bool = True
+
+    def to_segmentation_options(self) -> SegmentationOptions:
+        """Translate to the segmentation pass options."""
+        return SegmentationOptions(
+            max_segment_operators=self.max_segment_operators,
+            pipelined=self.pipelined,
+            include_switch_cost=self.include_switch_cost,
+            allow_memory_mode=self.allow_memory_mode,
+            use_milp=self.use_milp,
+            refine=self.refine,
+        )
+
+
+class CMSwitchCompiler:
+    """Dual-mode-aware DNN compiler for CIM accelerators (the paper's tool).
+
+    Args:
+        hardware: Target dual-mode hardware abstraction (DEHA).
+        options: Compilation options; defaults reproduce the paper's setup.
+
+    Example:
+        >>> from repro.hardware import dynaplasia
+        >>> from repro.models import build_model, Workload
+        >>> compiler = CMSwitchCompiler(dynaplasia())
+        >>> program = compiler.compile(build_model("tiny-cnn", Workload()))
+        >>> program.num_segments >= 1
+        True
+    """
+
+    name = "cmswitch"
+
+    def __init__(
+        self,
+        hardware: DualModeHardwareAbstraction,
+        options: Optional[CompilerOptions] = None,
+    ) -> None:
+        self.hardware = hardware
+        self.options = options or CompilerOptions()
+
+    def compile(self, graph: Graph) -> CompiledProgram:
+        """Compile a graph into a dual-mode execution plan.
+
+        Args:
+            graph: The computation graph (typically from
+                :func:`repro.models.build_model`).
+
+        Returns:
+            The compiled program with segment plans, predicted latency and,
+            when ``generate_code`` is enabled, the meta-operator flow.
+        """
+        start = time.perf_counter()
+        segmenter = NetworkSegmenter(self.hardware, self.options.to_segmentation_options())
+        result = segmenter.segment(graph)
+        fallback_used = False
+        if self.options.allow_memory_mode and self.options.fixed_mode_fallback:
+            fixed_options = self.options.to_segmentation_options()
+            fixed_options.allow_memory_mode = False
+            fixed_result = NetworkSegmenter(self.hardware, fixed_options).segment(graph)
+            if fixed_result.total_cycles < result.total_cycles:
+                result = fixed_result
+                fallback_used = True
+        meta_program = None
+        if self.options.generate_code and result.segments:
+            meta_program = generate_program(graph.name, result.segments, self.hardware)
+        elapsed = time.perf_counter() - start
+        block_repeat = float(graph.metadata.get("block_repeat", 1.0))
+        program = CompiledProgram(
+            graph_name=graph.name,
+            compiler_name=self.name,
+            hardware=self.hardware,
+            segments=result.segments,
+            block_repeat=block_repeat,
+            compile_seconds=elapsed,
+            metadata={
+                "graph_metadata": dict(graph.metadata),
+                "options": {
+                    "max_segment_operators": self.options.max_segment_operators,
+                    "pipelined": self.options.pipelined,
+                    "include_switch_cost": self.options.include_switch_cost,
+                    "use_milp": self.options.use_milp,
+                    "refine": self.options.refine,
+                    "allow_memory_mode": self.options.allow_memory_mode,
+                },
+                "num_flattened_units": len(result.units),
+                "allocation_calls": result.allocation_calls,
+                "dp_seconds": result.dp_seconds,
+                "fixed_mode_fallback_used": fallback_used,
+            },
+            meta_program=meta_program,
+        )
+        return program
+
+
+def compile_model(
+    graph: Graph,
+    hardware: DualModeHardwareAbstraction,
+    options: Optional[CompilerOptions] = None,
+) -> CompiledProgram:
+    """Convenience wrapper: compile ``graph`` with :class:`CMSwitchCompiler`."""
+    return CMSwitchCompiler(hardware, options).compile(graph)

@@ -1,0 +1,204 @@
+"""Compiled-program data structures.
+
+The result of compiling a graph for a dual-mode CIM chip is a sequence of
+*segments* (the paper's ``S_{i,j}``), each with a per-operator allocation
+of compute- and memory-mode arrays, the latency the cost model predicts
+for it, and the overhead of transitioning from the previous segment.  The
+code generator additionally lowers the schedule to a meta-operator flow
+(:mod:`repro.core.metaop`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..cost.arithmetic import OperatorProfile
+from ..cost.latency import OperatorAllocation
+from ..cost.switching import SegmentResources
+from ..hardware.deha import DualModeHardwareAbstraction
+
+
+@dataclass
+class SegmentPlan:
+    """One network segment with its resource allocation and costs.
+
+    Attributes:
+        index: Position of the segment in execution order.
+        operator_names: Names of the CIM-mappable operators in the segment
+            (topological order).
+        allocations: Per-operator array allocation.
+        profiles: Per-operator cost profiles (kept for reporting).
+        intra_cycles: ``T_intra`` — pipelined execution latency.
+        inter_cycles: ``T_inter`` — transition cost from the previous
+            segment (write-back + mode switch + weight reload).
+        inter_breakdown: Per-component breakdown of ``inter_cycles``.
+        resources: Aggregate compute/memory array usage.
+        boundary_memory_arrays: Idle arrays switched to memory mode to keep
+            this segment's live outputs on chip across the boundary (only a
+            dual-mode compiler sets this).
+    """
+
+    index: int
+    operator_names: List[str]
+    allocations: Dict[str, OperatorAllocation]
+    profiles: Dict[str, OperatorProfile]
+    intra_cycles: float
+    inter_cycles: float
+    inter_breakdown: Dict[str, float] = field(default_factory=dict)
+    resources: Optional[SegmentResources] = None
+    boundary_memory_arrays: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        """Latency contributed by this segment including its transition."""
+        return self.intra_cycles + self.inter_cycles
+
+    @property
+    def compute_arrays(self) -> int:
+        """Total compute-mode arrays used by the segment."""
+        return sum(alloc.compute_arrays for alloc in self.allocations.values())
+
+    @property
+    def memory_arrays(self) -> int:
+        """Total memory-mode arrays used by the segment (incl. boundary buffers)."""
+        operator_memory = sum(alloc.memory_arrays for alloc in self.allocations.values())
+        return operator_memory + self.boundary_memory_arrays
+
+    @property
+    def memory_array_ratio(self) -> float:
+        """Fraction of the segment's arrays operating in memory mode."""
+        total = self.compute_arrays + self.memory_arrays
+        return self.memory_arrays / total if total else 0.0
+
+    def describe(self) -> str:
+        """One-line summary used by reports (Fig. 15-style)."""
+        ops = ", ".join(self.operator_names)
+        return (
+            f"segment {self.index}: [{ops}] compute={self.compute_arrays} "
+            f"memory={self.memory_arrays} intra={self.intra_cycles:.0f}cyc "
+            f"inter={self.inter_cycles:.0f}cyc"
+        )
+
+
+@dataclass
+class CompiledProgram:
+    """Full compilation result for one graph on one hardware target.
+
+    Attributes:
+        graph_name: Name of the compiled graph.
+        compiler_name: Which compiler produced the result ("cmswitch",
+            "cim-mlc", "puma", "occ").
+        hardware: Hardware abstraction the program targets.
+        segments: Segment plans in execution order.
+        block_repeat: Multiplier applied to the compiled graph's latency to
+            obtain the end-to-end model latency (transformer models are
+            compiled per block and reused across layers).
+        compile_seconds: Wall-clock compilation time.
+        metadata: Free-form extra information (workload, options, ...).
+    """
+
+    graph_name: str
+    compiler_name: str
+    hardware: DualModeHardwareAbstraction
+    segments: List[SegmentPlan]
+    block_repeat: float = 1.0
+    compile_seconds: float = 0.0
+    metadata: Dict = field(default_factory=dict)
+    #: Lowered meta-operator flow (set when code generation is enabled).
+    meta_program: Optional[object] = None
+
+    # ------------------------------------------------------------------ #
+    # latency summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def graph_cycles(self) -> float:
+        """Latency of one pass over the compiled graph."""
+        return sum(segment.total_cycles for segment in self.segments)
+
+    @property
+    def end_to_end_cycles(self) -> float:
+        """Latency of the whole model (graph latency times block repeat)."""
+        return self.graph_cycles * self.block_repeat
+
+    @property
+    def end_to_end_ms(self) -> float:
+        """End-to-end latency in milliseconds."""
+        return self.hardware.cycles_to_ms(self.end_to_end_cycles)
+
+    @property
+    def intra_cycles(self) -> float:
+        """Total intra-segment cycles (one graph pass)."""
+        return sum(segment.intra_cycles for segment in self.segments)
+
+    @property
+    def inter_cycles(self) -> float:
+        """Total inter-segment cycles (one graph pass)."""
+        return sum(segment.inter_cycles for segment in self.segments)
+
+    @property
+    def switch_cycles(self) -> float:
+        """Cycles spent purely on compute/memory mode switches."""
+        return sum(segment.inter_breakdown.get("mode_switch", 0.0) for segment in self.segments)
+
+    @property
+    def switch_overhead_fraction(self) -> float:
+        """Share of total time spent on mode switching (§5.5 metric)."""
+        total = self.graph_cycles
+        return self.switch_cycles / total if total else 0.0
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments."""
+        return len(self.segments)
+
+    @property
+    def mean_memory_array_ratio(self) -> float:
+        """Average memory-mode array share across segments (Fig. 16 metric).
+
+        Weighted by segment execution time so long-running segments
+        dominate, matching "the average proportion of arrays operating in
+        memory mode across all segments".
+        """
+        total_time = sum(s.intra_cycles for s in self.segments)
+        if total_time <= 0:
+            segments = self.segments or []
+            if not segments:
+                return 0.0
+            return sum(s.memory_array_ratio for s in segments) / len(segments)
+        weighted = sum(s.memory_array_ratio * s.intra_cycles for s in self.segments)
+        return weighted / total_time
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def allocation_table(self) -> List[Dict]:
+        """Rows describing every operator's allocation (Fig. 15 data)."""
+        rows: List[Dict] = []
+        for segment in self.segments:
+            for name in segment.operator_names:
+                allocation = segment.allocations[name]
+                rows.append(
+                    {
+                        "segment": segment.index,
+                        "operator": name,
+                        "compute_arrays": allocation.compute_arrays,
+                        "memory_arrays": allocation.memory_arrays,
+                    }
+                )
+        return rows
+
+    def summary(self) -> str:
+        """Multi-line human-readable compilation summary."""
+        lines = [
+            f"{self.compiler_name} program for {self.graph_name!r} on {self.hardware.name}",
+            f"  segments           : {self.num_segments}",
+            f"  graph latency      : {self.graph_cycles:,.0f} cycles",
+            f"  end-to-end latency : {self.end_to_end_cycles:,.0f} cycles "
+            f"({self.end_to_end_ms:.3f} ms, block repeat {self.block_repeat:g})",
+            f"  intra / inter      : {self.intra_cycles:,.0f} / {self.inter_cycles:,.0f} cycles",
+            f"  mode-switch share  : {100.0 * self.switch_overhead_fraction:.2f} %",
+            f"  memory-array ratio : {100.0 * self.mean_memory_array_ratio:.1f} %",
+            f"  compile time       : {self.compile_seconds:.3f} s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,411 @@
+"""Dual-mode-aware network segmentation (§4.3.1, Algorithm 1).
+
+The topologically sorted CIM-mappable operators ``O_1 ... O_m`` are cut
+into consecutive segments.  Operators whose stationary operand exceeds the
+whole chip are first partitioned greedily into sub-operators that fit
+(the "Flatten(G)" step).  A dynamic program then chooses the segment
+boundaries minimising
+
+    L[j] = min_i { L[i-1] + T_intra(i, j) + T_inter(i-1, i) }        (Eq. 3)
+
+where ``T_intra`` comes from the per-segment allocator and ``T_inter`` is
+the write-back + mode-switch + weight-reload overhead (Eq. 4).  The DP
+memoises per-segment allocations so every candidate segment is solved at
+most once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cost.arithmetic import OperatorProfile, profile_operator
+from ..cost.latency import INFEASIBLE_LATENCY
+from ..cost.switching import (
+    SegmentResources,
+    aggregate_resources,
+    inter_segment_breakdown,
+    inter_segment_cycles,
+)
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.graph import Graph
+from ..ir.transforms import fuse_auxiliary_traffic, partition_operator
+from .allocation import (
+    AllocationResult,
+    GreedyAllocator,
+    MIPAllocator,
+    allocate_segment,
+    minimum_compute_arrays,
+)
+from .program import SegmentPlan
+
+
+@dataclass
+class SegmentationOptions:
+    """Knobs of the segmentation pass.
+
+    Attributes:
+        max_segment_operators: Upper bound on operators per segment (the
+            DP window).  Bounds compilation time; the chip's capacity also
+            limits segments naturally.
+        pipelined: Whether operators inside a segment execute as a
+            pipeline (Eq. 9) or serially.
+        include_switch_cost: Whether the DP charges the Eq. 1 mode-switch
+            latency (the switch-cost-awareness ablation turns this off).
+        allow_memory_mode: Whether operators may receive memory-mode
+            arrays; the all-compute baselines set this to False.
+        use_milp: Use the MILP allocator (True) or the greedy one (False).
+        refine: Apply the post-allocation duplication refinement.
+        single_segment_fallback: If True and the DP finds no feasible
+            plan, fall back to one segment per operator.
+    """
+
+    max_segment_operators: int = 8
+    pipelined: bool = True
+    include_switch_cost: bool = True
+    allow_memory_mode: bool = True
+    use_milp: bool = True
+    refine: bool = True
+    single_segment_fallback: bool = True
+
+    def build_allocator(self):
+        """Instantiate the configured per-segment allocation engine."""
+        if self.use_milp:
+            return MIPAllocator(allow_memory_mode=self.allow_memory_mode)
+        return GreedyAllocator(allow_memory_mode=self.allow_memory_mode)
+
+
+@dataclass
+class FlattenedUnit:
+    """One schedulable unit after flattening (an operator or a shard).
+
+    Attributes:
+        name: Unit name (shard names carry a ``::partK`` suffix).
+        parent: Name of the original graph operator.
+        profile: Cost profile of the unit.
+        index: Position in the flattened order.
+        live_until: Index of the last unit that consumes this unit's
+            output (used for the inter-segment write-back volume).
+    """
+
+    name: str
+    parent: str
+    profile: OperatorProfile
+    index: int
+    live_until: int
+
+
+def flatten_graph(
+    graph: Graph, hardware: DualModeHardwareAbstraction
+) -> List[FlattenedUnit]:
+    """Flatten a graph into schedulable units that each fit on the chip.
+
+    CIM-mappable operators are profiled (auxiliary traffic folded in) and
+    any operator whose stationary operand exceeds the whole chip is split
+    by :func:`repro.ir.transforms.partition_operator` with the chip
+    capacity as the budget — the paper's greedy partitioning "determined
+    by the available on-chip resources".
+    """
+    extra_traffic = fuse_auxiliary_traffic(graph)
+    cim_ops = graph.cim_operators()
+    chip_capacity = hardware.num_arrays * hardware.array_capacity_elements
+
+    expanded: List[Tuple[str, str, OperatorProfile]] = []  # (name, parent, profile)
+    for op in cim_ops:
+        extra = extra_traffic.get(op.name, 0)
+        profile = profile_operator(op, extra)
+        if profile.min_compute_arrays(hardware) <= hardware.num_arrays:
+            expanded.append((op.name, op.name, profile))
+            continue
+        shards = partition_operator(
+            op, chip_capacity, hardware.array_rows, hardware.array_cols
+        )
+        extra_per_shard = extra // len(shards)
+        for shard in shards:
+            shard_profile = profile_operator(shard.operator, extra_per_shard)
+            expanded.append((shard.operator.name, op.name, shard_profile))
+
+    # Liveness: a unit's output is live until its last consumer.  Consumers
+    # are derived from the parent graph's dependency relation; units whose
+    # parents feed graph outputs (or only auxiliary operators) stay live to
+    # the very end.
+    position_of_parent_first: Dict[str, int] = {}
+    position_of_parent_last: Dict[str, int] = {}
+    for idx, (_, parent, _) in enumerate(expanded):
+        position_of_parent_first.setdefault(parent, idx)
+        position_of_parent_last[parent] = idx
+
+    cim_names = {op.name for op in cim_ops}
+    consumers_of: Dict[str, List[int]] = {name: [] for name in cim_names}
+    for producer, consumer in _mappable_dependencies(graph, cim_names):
+        if consumer in position_of_parent_first:
+            consumers_of[producer].append(position_of_parent_first[consumer])
+
+    last_index = len(expanded) - 1
+    units: List[FlattenedUnit] = []
+    for idx, (name, parent, profile) in enumerate(expanded):
+        if idx < position_of_parent_last[parent]:
+            # Intermediate shard: its partial output feeds the next shard.
+            live_until = idx + 1
+        else:
+            consumer_positions = consumers_of.get(parent, [])
+            if consumer_positions:
+                live_until = max(consumer_positions)
+            else:
+                # Feeds the graph output (or only auxiliary tails).
+                live_until = last_index
+        units.append(
+            FlattenedUnit(name=name, parent=parent, profile=profile, index=idx, live_until=live_until)
+        )
+    return units
+
+
+def _mappable_dependencies(graph: Graph, cim_names: set) -> List[Tuple[str, str]]:
+    """Dependency pairs between CIM-mappable operators.
+
+    Auxiliary operators between two mappable operators are collapsed: if a
+    path of non-mappable operators connects ``A`` to ``B``, the pair
+    ``(A, B)`` is reported.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for op in graph.topological_order():
+        if op.name not in cim_names:
+            continue
+        frontier = graph.successors(op)
+        visited = set()
+        while frontier:
+            next_frontier = []
+            for succ in frontier:
+                if succ.name in visited:
+                    continue
+                visited.add(succ.name)
+                if succ.name in cim_names:
+                    pairs.append((op.name, succ.name))
+                else:
+                    next_frontier.extend(graph.successors(succ))
+            frontier = next_frontier
+    return pairs
+
+
+def live_elements_at_boundary(units: Sequence[FlattenedUnit], boundary: int) -> int:
+    """Elements produced at or before ``boundary`` still needed after it.
+
+    ``boundary`` is the index of the last unit of the earlier segment.
+    """
+    total = 0
+    for unit in units[: boundary + 1]:
+        if unit.live_until > boundary:
+            total += unit.profile.output_elements
+    return total
+
+
+@dataclass
+class SegmentationResult:
+    """Output of the DP: segment plans plus bookkeeping for reports."""
+
+    segments: List[SegmentPlan]
+    units: List[FlattenedUnit]
+    dp_seconds: float
+    allocation_calls: int
+
+    @property
+    def total_cycles(self) -> float:
+        """Total predicted latency of the segmented schedule."""
+        return sum(segment.total_cycles for segment in self.segments)
+
+
+class NetworkSegmenter:
+    """Runs the Eq. 3 dynamic program over a flattened operator list."""
+
+    def __init__(
+        self,
+        hardware: DualModeHardwareAbstraction,
+        options: Optional[SegmentationOptions] = None,
+    ) -> None:
+        self.hardware = hardware
+        self.options = options or SegmentationOptions()
+        self._allocator = self.options.build_allocator()
+        self._allocation_cache: Dict[Tuple[int, int], AllocationResult] = {}
+        self.allocation_calls = 0
+
+    # ------------------------------------------------------------------ #
+    # allocation memoisation
+    # ------------------------------------------------------------------ #
+    def _segment_profiles(
+        self, units: Sequence[FlattenedUnit], start: int, end: int
+    ) -> Dict[str, OperatorProfile]:
+        return {unit.name: unit.profile for unit in units[start : end + 1]}
+
+    def _allocate(self, units: Sequence[FlattenedUnit], start: int, end: int) -> AllocationResult:
+        key = (start, end)
+        if key not in self._allocation_cache:
+            profiles = self._segment_profiles(units, start, end)
+            if minimum_compute_arrays(profiles, self.hardware) > self.hardware.num_arrays:
+                result = AllocationResult({}, INFEASIBLE_LATENCY, False, "infeasible")
+            else:
+                result = allocate_segment(
+                    profiles,
+                    self.hardware,
+                    allocator=self._allocator,
+                    pipelined=self.options.pipelined,
+                    refine=self.options.refine,
+                    reserve_arrays=self._boundary_reserve(units, end),
+                )
+                self.allocation_calls += 1
+            self._allocation_cache[key] = result
+        return self._allocation_cache[key]
+
+    def _boundary_reserve(self, units: Sequence[FlattenedUnit], end: int) -> int:
+        """Arrays withheld from duplication to buffer live boundary data.
+
+        A dual-mode compiler keeps a segment's live outputs in memory-mode
+        arrays rather than spilling them off chip, so the duplication
+        refinement must not consume the arrays that buffering needs.  At
+        most half the chip is reserved; fixed-mode baselines reserve none.
+        """
+        if not self.options.allow_memory_mode or end + 1 >= len(units):
+            return 0
+        live = live_elements_at_boundary(units, end)
+        if live <= 0:
+            return 0
+        need = -(-live // self.hardware.array_capacity_elements)
+        return min(need, self.hardware.num_arrays // 2)
+
+    # ------------------------------------------------------------------ #
+    # dynamic program
+    # ------------------------------------------------------------------ #
+    def segment(self, graph: Graph) -> SegmentationResult:
+        """Segment a graph and allocate every segment (Algorithm 1)."""
+        start_time = time.perf_counter()
+        units = flatten_graph(graph, self.hardware)
+        if not units:
+            return SegmentationResult([], [], 0.0, 0)
+        m = len(units)
+        window = max(1, self.options.max_segment_operators)
+
+        # DP tables: best cost to schedule units[0..j-1]; predecessor
+        # boundary; allocation and resources of the last segment of the
+        # best plan ending at j.
+        best_cost = [INFEASIBLE_LATENCY] * (m + 1)
+        best_cost[0] = 0.0
+        predecessor = [-1] * (m + 1)
+        last_resources: List[Optional[SegmentResources]] = [None] * (m + 1)
+        last_allocation: List[Optional[AllocationResult]] = [None] * (m + 1)
+
+        for j in range(1, m + 1):
+            lo = max(0, j - window)
+            for i in range(lo, j):
+                if best_cost[i] == INFEASIBLE_LATENCY:
+                    continue
+                allocation = self._allocate(units, i, j - 1)
+                if not allocation.feasible:
+                    continue
+                profiles = self._segment_profiles(units, i, j - 1)
+                live = live_elements_at_boundary(units, j - 1) if j < m else 0
+                resources = aggregate_resources(
+                    profiles,
+                    allocation.allocations,
+                    live_output_elements=live,
+                    num_arrays_total=self.hardware.num_arrays,
+                )
+                inter = inter_segment_cycles(
+                    last_resources[i],
+                    resources,
+                    profiles,
+                    allocation.allocations,
+                    self.hardware,
+                    include_switch_cost=self.options.include_switch_cost,
+                    allow_boundary_buffering=self.options.allow_memory_mode,
+                )
+                cost = best_cost[i] + allocation.latency_cycles + inter
+                if cost < best_cost[j]:
+                    best_cost[j] = cost
+                    predecessor[j] = i
+                    last_resources[j] = resources
+                    last_allocation[j] = allocation
+
+        if best_cost[m] == INFEASIBLE_LATENCY:
+            if not self.options.single_segment_fallback:
+                raise RuntimeError(
+                    f"no feasible segmentation found for graph {graph.name!r} "
+                    f"on {self.hardware.name!r}"
+                )
+            return self._per_operator_fallback(graph, units, start_time)
+
+        # Backtrack the boundaries.
+        boundaries: List[Tuple[int, int]] = []
+        j = m
+        while j > 0:
+            i = predecessor[j]
+            boundaries.append((i, j - 1))
+            j = i
+        boundaries.reverse()
+
+        segments = self._build_plans(units, boundaries)
+        dp_seconds = time.perf_counter() - start_time
+        return SegmentationResult(segments, units, dp_seconds, self.allocation_calls)
+
+    # ------------------------------------------------------------------ #
+    # plan construction
+    # ------------------------------------------------------------------ #
+    def _build_plans(
+        self, units: Sequence[FlattenedUnit], boundaries: Sequence[Tuple[int, int]]
+    ) -> List[SegmentPlan]:
+        plans: List[SegmentPlan] = []
+        previous_resources: Optional[SegmentResources] = None
+        capacity = self.hardware.array_capacity_elements
+        for seg_index, (start, end) in enumerate(boundaries):
+            allocation = self._allocate(units, start, end)
+            if not allocation.feasible:
+                names = ", ".join(unit.name for unit in units[start : end + 1])
+                raise RuntimeError(
+                    f"segment [{names}] cannot be mapped onto "
+                    f"{self.hardware.name!r} ({self.hardware.num_arrays} arrays)"
+                )
+            profiles = self._segment_profiles(units, start, end)
+            live = live_elements_at_boundary(units, end) if end + 1 < len(units) else 0
+            resources = aggregate_resources(
+                profiles,
+                allocation.allocations,
+                live_output_elements=live,
+                num_arrays_total=self.hardware.num_arrays,
+            )
+            breakdown = inter_segment_breakdown(
+                previous_resources,
+                resources,
+                profiles,
+                allocation.allocations,
+                self.hardware,
+                allow_boundary_buffering=self.options.allow_memory_mode,
+            )
+            if not self.options.include_switch_cost:
+                breakdown["mode_switch"] = 0.0
+            inter = sum(breakdown.values())
+            boundary_memory = 0
+            if self.options.allow_memory_mode and live > 0:
+                boundary_memory = min(resources.idle_arrays, -(-live // capacity))
+            plans.append(
+                SegmentPlan(
+                    index=seg_index,
+                    operator_names=[unit.name for unit in units[start : end + 1]],
+                    allocations=dict(allocation.allocations),
+                    profiles=profiles,
+                    intra_cycles=allocation.latency_cycles,
+                    inter_cycles=inter,
+                    inter_breakdown=breakdown,
+                    resources=resources,
+                    boundary_memory_arrays=boundary_memory,
+                )
+            )
+            previous_resources = resources
+        return plans
+
+    def _per_operator_fallback(
+        self, graph: Graph, units: Sequence[FlattenedUnit], start_time: float
+    ) -> SegmentationResult:
+        """One segment per unit — used only when the DP finds no plan."""
+        boundaries = [(i, i) for i in range(len(units))]
+        segments = self._build_plans(units, boundaries)
+        dp_seconds = time.perf_counter() - start_time
+        return SegmentationResult(segments, list(units), dp_seconds, self.allocation_calls)

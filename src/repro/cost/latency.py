@@ -1,0 +1,255 @@
+"""Operator and segment latency model (Eq. 9 / Eq. 10 of the paper).
+
+The latency of a CIM-mappable operator with ``Com`` compute-mode arrays
+and ``Mem`` memory-mode arrays is
+
+    L = OP / min(Com * OP_cim, (Mem * D_cim + D_main) * AI)
+
+— the computation amount divided by the smaller of the compute rate the
+allocated arrays provide and the computation rate the data supply can
+sustain.  Within a segment, operators run in a pipelined fashion, so the
+segment latency is the maximum operator latency (Eq. 9) plus a pipeline
+fill term.
+
+Two refinements keep the model physical without changing its character:
+
+* memory-mode arrays only add bandwidth for data they can actually hold —
+  allocating more arrays than the operator's working set occupies adds no
+  supply (``useful_mem`` cap);
+* an operator given fewer compute arrays than its stationary operand
+  requires must time-multiplex weight loads, modelled as a proportional
+  slowdown of its compute rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.transforms import ceil_div
+from .arithmetic import OperatorProfile
+
+#: Latency assigned to degenerate cases (no compute possible at all).
+INFEASIBLE_LATENCY = float("inf")
+
+
+@dataclass(frozen=True)
+class OperatorAllocation:
+    """Number of arrays, per mode, assigned to one operator.
+
+    Attributes:
+        compute_arrays: ``Com_Oi`` — arrays in compute mode (weight tiles
+            plus any duplicated copies).
+        memory_arrays: ``Mem_Oi`` — arrays in memory mode acting as the
+            operator's input/output buffer.
+    """
+
+    compute_arrays: int
+    memory_arrays: int
+
+    def __post_init__(self) -> None:
+        if self.compute_arrays < 0 or self.memory_arrays < 0:
+            raise ValueError("array counts must be non-negative")
+
+    @property
+    def total_arrays(self) -> int:
+        """Total arrays assigned to the operator."""
+        return self.compute_arrays + self.memory_arrays
+
+
+def compute_rate(
+    profile: OperatorProfile,
+    compute_arrays: int,
+    hardware: DualModeHardwareAbstraction,
+) -> float:
+    """MACs per cycle the assigned compute arrays sustain (``C`` in Eq. 10).
+
+    When fewer arrays than the stationary footprint are assigned the
+    operator must reload weight tiles mid-execution; throughput degrades by
+    the ratio of resident tiles to total tiles.
+    """
+    if compute_arrays <= 0:
+        return 0.0
+    rate = compute_arrays * hardware.op_cim
+    required = profile.min_compute_arrays(hardware)
+    if required > 0 and compute_arrays < required:
+        rate *= compute_arrays / required
+    return rate
+
+
+def data_supply_times(
+    profile: OperatorProfile,
+    memory_arrays: int,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> Tuple[float, float]:
+    """Off-chip and on-chip data-supply times (cycles) for one operator.
+
+    The operator must move ``streamed_elements`` dynamic values.  Up to the
+    native buffer plus the allocated memory-mode arrays' capacity of that
+    working set lives on chip and is served at the on-chip rate
+    ``D_main + Mem * D_cim``; the remainder crosses the off-chip link at
+    ``d_extern``.  The two transfers overlap with each other (and with
+    computation), so the slower one bounds the operator — this is the
+    roofline realisation of Eq. 10's supply term: with no memory arrays and
+    a working set far beyond the buffer it degenerates to
+    ``OP / (D_main * AI)`` exactly as written in the paper.
+    """
+    streamed = profile.streamed_elements
+    if streamed <= 0:
+        return 0.0, 0.0
+    # Inputs that do not fit in on-chip storage (native buffer plus
+    # allocated memory-mode arrays) must be fetched across the off-chip
+    # link while the operator runs.  Outputs drain through the on-chip path
+    # — if they must ultimately spill, the inter-segment write-back term
+    # charges that transfer, so it is not double-counted here.
+    input_side = profile.streamed_input_elements + profile.extra_streamed_elements
+    onchip_capacity = hardware.buffer_elements + memory_arrays * hardware.array_capacity_elements
+    offchip_elements = max(0, input_side - onchip_capacity)
+    onchip_elements = streamed - offchip_elements
+    offchip_rate = hardware.d_extern * d_main_share
+    onchip_rate = hardware.d_main * d_main_share + memory_arrays * hardware.d_cim
+    offchip_time = offchip_elements / offchip_rate if offchip_rate > 0 else INFEASIBLE_LATENCY
+    onchip_time = onchip_elements / onchip_rate if onchip_rate > 0 else INFEASIBLE_LATENCY
+    return offchip_time, onchip_time
+
+
+def supply_rate(
+    profile: OperatorProfile,
+    memory_arrays: int,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> float:
+    """MACs per cycle the data supply sustains (``M`` in Eq. 10)."""
+    offchip_time, onchip_time = data_supply_times(profile, memory_arrays, hardware, d_main_share)
+    supply_time = max(offchip_time, onchip_time)
+    if supply_time <= 0:
+        return float("inf")
+    return profile.macs / supply_time if profile.macs else profile.streamed_elements / supply_time
+
+
+def operator_latency_cycles(
+    profile: OperatorProfile,
+    allocation: OperatorAllocation,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> float:
+    """Latency (cycles) of one operator under an allocation — Eq. 10.
+
+    ``L = max(OP / C, T_offchip, T_onchip)``: the computation time under
+    the allocated compute arrays and the (overlapped) data-supply times,
+    whichever is largest.
+    """
+    offchip_time, onchip_time = data_supply_times(
+        profile, allocation.memory_arrays, hardware, d_main_share
+    )
+    supply_time = max(offchip_time, onchip_time)
+    if profile.macs == 0:
+        return supply_time
+    c_rate = compute_rate(profile, allocation.compute_arrays, hardware)
+    if c_rate <= 0:
+        return INFEASIBLE_LATENCY
+    compute_time = profile.macs / c_rate
+    return max(compute_time, supply_time)
+
+
+def operator_bound(
+    profile: OperatorProfile,
+    allocation: OperatorAllocation,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> str:
+    """Which resource bounds the operator: ``"compute"`` or ``"memory"``."""
+    offchip_time, onchip_time = data_supply_times(
+        profile, allocation.memory_arrays, hardware, d_main_share
+    )
+    supply_time = max(offchip_time, onchip_time)
+    c_rate = compute_rate(profile, allocation.compute_arrays, hardware)
+    compute_time = profile.macs / c_rate if c_rate > 0 else INFEASIBLE_LATENCY
+    return "compute" if compute_time >= supply_time else "memory"
+
+
+def pipeline_fill_cycles(
+    profiles: Iterable[OperatorProfile],
+    hardware: DualModeHardwareAbstraction,
+) -> float:
+    """First-result latency before the intra-segment pipeline is full.
+
+    Operators inside a segment form a dataflow pipeline; before the
+    steady state each stage must produce its first tile.  We charge one
+    array activation per stage, a small constant that keeps single-operator
+    and multi-operator segments comparable.
+    """
+    stages = sum(1 for _ in profiles)
+    return stages * hardware.compute_latency_cycles
+
+
+def segment_latency_cycles(
+    profiles: Mapping[str, OperatorProfile],
+    allocations: Mapping[str, OperatorAllocation],
+    hardware: DualModeHardwareAbstraction,
+    pipelined: bool = True,
+    d_main_share: float = 1.0,
+) -> float:
+    """Intra-segment latency ``T_intra`` under a resource allocation.
+
+    Args:
+        profiles: Profiles of the segment's operators.
+        allocations: Allocation for every operator in ``profiles``.
+        hardware: Target hardware abstraction.
+        pipelined: When True (the paper's scheduling strategy) the segment
+            latency is the maximum operator latency plus the pipeline fill
+            time; when False operators execute serially and latencies add.
+        d_main_share: Fraction of the main-memory bandwidth available to
+            each operator (1.0 reproduces the paper's model).
+
+    Raises:
+        KeyError: If an operator has no allocation entry.
+    """
+    latencies: List[float] = []
+    for name, profile in profiles.items():
+        allocation = allocations[name]
+        latencies.append(operator_latency_cycles(profile, allocation, hardware, d_main_share))
+    if not latencies:
+        return 0.0
+    if pipelined:
+        return max(latencies) + pipeline_fill_cycles(profiles.values(), hardware)
+    return sum(latencies)
+
+
+def minimum_latency_all_compute(
+    profile: OperatorProfile,
+    total_arrays: int,
+    hardware: DualModeHardwareAbstraction,
+) -> float:
+    """Best achievable latency when every array is in compute mode.
+
+    Used by the baselines and by the mode-ratio sweep (Fig. 1(b) / Fig. 5):
+    the operator receives all arrays as compute resources (weight
+    duplication) and data is supplied from main memory only.
+    """
+    allocation = OperatorAllocation(compute_arrays=total_arrays, memory_arrays=0)
+    return operator_latency_cycles(profile, allocation, hardware)
+
+
+def best_split_latency(
+    profile: OperatorProfile,
+    total_arrays: int,
+    hardware: DualModeHardwareAbstraction,
+) -> Tuple[float, OperatorAllocation]:
+    """Best latency and allocation for a single operator given a budget.
+
+    Sweeps the compute/memory split of ``total_arrays`` arrays.  Used by
+    the motivation sweeps and as a reference point for the MIP allocator.
+    """
+    best = (INFEASIBLE_LATENCY, OperatorAllocation(0, 0))
+    min_compute = min(profile.min_compute_arrays(hardware), total_arrays)
+    for compute_arrays in range(max(min_compute, 1), total_arrays + 1):
+        memory_arrays = total_arrays - compute_arrays
+        allocation = OperatorAllocation(compute_arrays, memory_arrays)
+        latency = operator_latency_cycles(profile, allocation, hardware)
+        if latency < best[0]:
+            best = (latency, allocation)
+    return best

@@ -1,0 +1,82 @@
+"""Compilation-overhead study — Fig. 18 of the paper.
+
+CMSwitch explores a strictly larger optimisation space than CIM-MLC (the
+dual-mode dimension plus the fixed-mode fallback pass), so its compilation
+takes a small multiple of CIM-MLC's time — the paper reports 2.8x–6.3x,
+with CNNs costing more than transformers because transformer blocks are
+compiled once and reused across layers.  This experiment measures both
+compilers' wall-clock compilation time on the Fig. 14 benchmark set.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import CIMMLCCompiler
+from ..core.compiler import CMSwitchCompiler, CompilerOptions
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..hardware.presets import dynaplasia
+from ..models.registry import build_model
+from .common import FIG14_MODELS, encode_workload, format_table
+
+
+def measure_compile_time(
+    hardware: Optional[DualModeHardwareAbstraction] = None,
+    models: Sequence[str] = FIG14_MODELS,
+    batch_size: int = 1,
+    seq_len: int = 64,
+    repeats: int = 1,
+) -> List[Dict]:
+    """Measure CMSwitch and CIM-MLC compilation time per benchmark.
+
+    Args:
+        repeats: Number of compilations averaged per measurement (the
+            paper uses 20; benchmarks here default to 1 for speed).
+
+    Returns one row per model with both times and their ratio.
+    """
+    hardware = hardware or dynaplasia()
+    rows: List[Dict] = []
+    for model in models:
+        workload = encode_workload(model, batch_size, seq_len)
+        graph = build_model(model, workload)
+        cms_time = _time_compiler(
+            lambda: CMSwitchCompiler(hardware, CompilerOptions(generate_code=False)), graph, repeats
+        )
+        mlc_time = _time_compiler(lambda: CIMMLCCompiler(hardware), graph, repeats)
+        rows.append(
+            {
+                "model": model,
+                "cmswitch_seconds": cms_time,
+                "cim-mlc_seconds": mlc_time,
+                "overhead_ratio": cms_time / mlc_time if mlc_time > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def _time_compiler(factory, graph, repeats: int) -> float:
+    """Average wall-clock compile time over ``repeats`` fresh compilers."""
+    total = 0.0
+    for _ in range(max(1, repeats)):
+        compiler = factory()
+        start = time.perf_counter()
+        compiler.compile(graph)
+        total += time.perf_counter() - start
+    return total / max(1, repeats)
+
+
+def render_report(rows: Sequence[Dict]) -> str:
+    """Text rendering of the Fig. 18 compilation-time comparison."""
+    columns = ["model", "cmswitch_seconds", "cim-mlc_seconds", "overhead_ratio"]
+    return format_table(rows, columns)
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    """Print the Fig. 18 reproduction."""
+    print(render_report(measure_compile_time()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

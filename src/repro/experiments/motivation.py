@@ -1,0 +1,127 @@
+"""Motivation studies — Figs. 1(b), 5 and 6 of the paper.
+
+These are pure analyses of the workloads and the latency model, with no
+compiler in the loop:
+
+* Fig. 1(b): normalised performance as the ratio of arrays in compute
+  mode varies, for a mix of CNN and transformer workloads — the optima
+  fall at very different ratios.
+* Fig. 5(a)(b): the (compute, memory) heatmaps for LLaMA 2 and ResNet-50.
+* Fig. 5(c): the average arithmetic intensity per model.
+* Fig. 6(a): layer-wise arithmetic intensity of ResNet-50.
+* Fig. 6(b): BERT-large arithmetic intensity per computation stage across
+  sequence lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.intensity import (
+    intensity_vs_sequence_length,
+    layerwise_intensity,
+    model_intensity_comparison,
+)
+from ..analysis.sweep import ModeRatioSweep, mode_allocation_heatmap, mode_ratio_sweep
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..hardware.presets import dynaplasia
+from ..models.registry import build_model
+from ..models.workload import Phase, Workload
+
+#: Models of the Fig. 1(b) sweep.
+FIG1_MODELS: Sequence[str] = ("gpt2", "llama2-7b", "vgg16", "resnet50", "bert-base", "bert-large")
+
+#: Models of the Fig. 5(c) intensity comparison.
+FIG5_MODELS: Sequence[str] = ("llama2-7b", "vgg16", "resnet50", "bert-base", "bert-large")
+
+
+def _motivation_workload(model: str) -> Workload:
+    """Default workload used by the motivation figures."""
+    if model.startswith(("llama", "gpt", "opt")):
+        return Workload(batch_size=1, seq_len=64, phase=Phase.DECODE)
+    if model.startswith("bert"):
+        return Workload(batch_size=1, seq_len=64, phase=Phase.ENCODE)
+    return Workload(batch_size=1)
+
+
+def mode_ratio_curves(
+    hardware: Optional[DualModeHardwareAbstraction] = None,
+    models: Sequence[str] = FIG1_MODELS,
+    ratios: Optional[Sequence[float]] = None,
+) -> Dict[str, ModeRatioSweep]:
+    """Fig. 1(b): performance vs. compute-mode ratio per model."""
+    hardware = hardware or dynaplasia(num_arrays=100)
+    sweeps: Dict[str, ModeRatioSweep] = {}
+    for model in models:
+        graph = build_model(model, _motivation_workload(model))
+        sweeps[model] = mode_ratio_sweep(graph, hardware, ratios)
+    return sweeps
+
+
+def allocation_heatmaps(
+    hardware: Optional[DualModeHardwareAbstraction] = None,
+    models: Sequence[str] = ("llama2-7b", "resnet50"),
+    grid_points: int = 11,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fig. 5(a)(b): normalised-performance heatmaps over array counts."""
+    hardware = hardware or dynaplasia(num_arrays=100)
+    heatmaps: Dict[str, Dict[str, np.ndarray]] = {}
+    for model in models:
+        graph = build_model(model, _motivation_workload(model))
+        compute_counts, memory_counts, heatmap = mode_allocation_heatmap(
+            graph, hardware, grid_points=grid_points
+        )
+        heatmaps[model] = {
+            "compute_counts": compute_counts,
+            "memory_counts": memory_counts,
+            "heatmap": heatmap,
+        }
+    return heatmaps
+
+
+def intensity_comparison(models: Sequence[str] = FIG5_MODELS) -> Dict[str, float]:
+    """Fig. 5(c): average arithmetic intensity per model."""
+    return model_intensity_comparison(models)
+
+
+def resnet_layer_intensity() -> List[Dict]:
+    """Fig. 6(a): layer-wise arithmetic intensity of ResNet-50."""
+    graph = build_model("resnet50", Workload(batch_size=1))
+    rows = []
+    for index, layer in enumerate(layerwise_intensity(graph)):
+        rows.append(
+            {
+                "index": index,
+                "operator": layer.operator,
+                "op_type": layer.op_type,
+                "intensity": layer.intensity,
+            }
+        )
+    return rows
+
+
+def bert_intensity_vs_sequence(
+    sequence_lengths: Sequence[int] = (128, 512, 4096),
+) -> Dict[int, Dict[str, float]]:
+    """Fig. 6(b): BERT-large stage intensity across sequence lengths."""
+    return intensity_vs_sequence_length("bert-large", sequence_lengths)
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    """Print compact versions of the motivation figures."""
+    print("Fig. 1(b): best compute-mode ratio per model")
+    for model, sweep in mode_ratio_curves().items():
+        print(f"  {model:12s} best ratio = {sweep.best_ratio:.2f}")
+    print("\nFig. 5(c): average arithmetic intensity")
+    for model, value in intensity_comparison().items():
+        print(f"  {model:12s} {value:8.1f} FLOPs/element")
+    print("\nFig. 6(b): BERT-large intensity vs sequence length")
+    for seq_len, stages in bert_intensity_vs_sequence().items():
+        parts = ", ".join(f"{k}={v:.0f}" for k, v in sorted(stages.items()))
+        print(f"  seq {seq_len:5d}: {parts}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

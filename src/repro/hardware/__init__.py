@@ -1,0 +1,18 @@
+"""Dual-mode CIM hardware abstraction, chip state model and presets."""
+
+from .chip import ChipStateError, CIMArray, CIMChip
+from .deha import ArrayMode, DualModeHardwareAbstraction
+from .presets import PRESETS, dynaplasia, get_preset, prime, small_test_chip
+
+__all__ = [
+    "ArrayMode",
+    "CIMArray",
+    "CIMChip",
+    "ChipStateError",
+    "DualModeHardwareAbstraction",
+    "PRESETS",
+    "dynaplasia",
+    "get_preset",
+    "prime",
+    "small_test_chip",
+]

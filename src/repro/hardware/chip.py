@@ -1,0 +1,215 @@
+"""Run-time state of a dual-mode CIM chip.
+
+The compiler reasons about the chip through the static
+:class:`~repro.hardware.deha.DualModeHardwareAbstraction`; the simulators
+and the meta-operator interpreter additionally need *state*: which mode
+every array is currently in, what it holds, and how many switches have
+been performed.  :class:`CIMChip` models exactly that and enforces the
+paper's constraint that an array can serve only one role at a time
+(Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .deha import ArrayMode, DualModeHardwareAbstraction
+
+
+class ChipStateError(RuntimeError):
+    """Raised when an operation violates the chip's physical constraints."""
+
+
+@dataclass
+class CIMArray:
+    """State of one dual-mode array.
+
+    Attributes:
+        index: Array index (flattened ``(x, y)`` coordinate).
+        mode: Current operating mode.
+        owner: Name of the operator / buffer currently occupying the array,
+            or ``None`` when free.
+        content: Free-form tag describing the stored data ("weights:fc1",
+            "activations:layer0_qk_out", ...).
+    """
+
+    index: int
+    mode: ArrayMode = ArrayMode.IDLE
+    owner: Optional[str] = None
+    content: Optional[str] = None
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the array currently has no owner."""
+        return self.owner is None
+
+
+class CIMChip:
+    """Mutable run-time model of the dual-mode CIM accelerator.
+
+    Args:
+        hardware: The static hardware abstraction.
+    """
+
+    def __init__(self, hardware: DualModeHardwareAbstraction) -> None:
+        self.hardware = hardware
+        self.arrays: List[CIMArray] = [CIMArray(index=i) for i in range(hardware.num_arrays)]
+        self.switch_count_m2c = 0
+        self.switch_count_c2m = 0
+        self.switch_cycles = 0.0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count(self, mode: ArrayMode) -> int:
+        """Number of arrays currently in ``mode``."""
+        return sum(1 for array in self.arrays if array.mode is mode)
+
+    @property
+    def num_compute(self) -> int:
+        """Number of arrays in compute mode."""
+        return self.count(ArrayMode.COMPUTE)
+
+    @property
+    def num_memory(self) -> int:
+        """Number of arrays in memory mode."""
+        return self.count(ArrayMode.MEMORY)
+
+    @property
+    def num_idle(self) -> int:
+        """Number of idle arrays."""
+        return self.count(ArrayMode.IDLE)
+
+    def free_arrays(self) -> List[CIMArray]:
+        """Arrays without an owner."""
+        return [array for array in self.arrays if array.is_free]
+
+    def arrays_of(self, owner: str) -> List[CIMArray]:
+        """Arrays currently owned by ``owner``."""
+        return [array for array in self.arrays if array.owner == owner]
+
+    def memory_capacity_elements(self) -> int:
+        """Elements storable in the arrays currently in memory mode."""
+        return self.num_memory * self.hardware.array_capacity_elements
+
+    # ------------------------------------------------------------------ #
+    # state transitions
+    # ------------------------------------------------------------------ #
+    def _array(self, index: int) -> CIMArray:
+        if not 0 <= index < len(self.arrays):
+            raise ChipStateError(
+                f"array index {index} out of range (chip has {len(self.arrays)} arrays)"
+            )
+        return self.arrays[index]
+
+    def switch_mode(self, indices: Iterable[int], mode: ArrayMode) -> float:
+        """Switch the given arrays to ``mode`` and return the cycle cost.
+
+        Arrays already in the requested mode cost nothing (the paper only
+        charges for actual transitions, Eq. 1).  Switching an array drops
+        its ownership — data must have been saved beforehand (step 1 of the
+        inter-segment procedure) or be dead.
+        """
+        cycles = 0.0
+        for index in indices:
+            array = self._array(index)
+            if array.mode is mode:
+                continue
+            if mode is ArrayMode.COMPUTE:
+                if array.mode is ArrayMode.MEMORY:
+                    self.switch_count_m2c += 1
+                    cycles += self.hardware.switch_latency_m2c
+            elif mode is ArrayMode.MEMORY:
+                if array.mode is ArrayMode.COMPUTE:
+                    self.switch_count_c2m += 1
+                    cycles += self.hardware.switch_latency_c2m
+            array.mode = mode
+            array.owner = None
+            array.content = None
+        self.switch_cycles += cycles
+        return cycles
+
+    def assign(
+        self,
+        indices: Iterable[int],
+        owner: str,
+        mode: ArrayMode,
+        content: Optional[str] = None,
+    ) -> float:
+        """Assign arrays to an owner in the requested mode.
+
+        Returns the mode-switch cycles incurred.  Raises if any array is
+        already owned by a different owner — the same array cannot serve
+        two operators simultaneously (constraint Eq. 5/7).
+        """
+        indices = list(indices)
+        for index in indices:
+            array = self._array(index)
+            if array.owner is not None and array.owner != owner:
+                raise ChipStateError(
+                    f"array {index} already owned by {array.owner!r}; cannot assign to {owner!r}"
+                )
+        cycles = self.switch_mode(indices, mode)
+        for index in indices:
+            array = self._array(index)
+            array.owner = owner
+            array.content = content
+        return cycles
+
+    def release(self, owner: str) -> List[int]:
+        """Release every array owned by ``owner`` (mode is kept)."""
+        released = []
+        for array in self.arrays:
+            if array.owner == owner:
+                array.owner = None
+                array.content = None
+                released.append(array.index)
+        return released
+
+    def allocate_free(self, count: int, owner: str, mode: ArrayMode) -> Tuple[List[int], float]:
+        """Grab ``count`` free arrays for ``owner`` (prefer mode matches).
+
+        Free arrays already in the requested mode are taken first to
+        minimise switching, mirroring the compiler's assumption that arrays
+        keep their mode across segments whenever possible.
+
+        Returns:
+            The chosen indices and the switch cycles incurred.
+
+        Raises:
+            ChipStateError: If fewer than ``count`` arrays are free.
+        """
+        free = self.free_arrays()
+        if len(free) < count:
+            raise ChipStateError(
+                f"requested {count} arrays for {owner!r} but only {len(free)} are free"
+            )
+        free.sort(key=lambda array: (array.mode is not mode, array.index))
+        chosen = [array.index for array in free[:count]]
+        cycles = self.assign(chosen, owner, mode)
+        return chosen, cycles
+
+    def reset(self) -> None:
+        """Return every array to the idle, unowned state and clear counters."""
+        for array in self.arrays:
+            array.mode = ArrayMode.IDLE
+            array.owner = None
+            array.content = None
+        self.switch_count_m2c = 0
+        self.switch_count_c2m = 0
+        self.switch_cycles = 0.0
+
+    def occupancy(self) -> Dict[str, int]:
+        """Histogram of owners to array counts (for reports/tests)."""
+        histogram: Dict[str, int] = {}
+        for array in self.arrays:
+            if array.owner is not None:
+                histogram[array.owner] = histogram.get(array.owner, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CIMChip {self.hardware.name}: {self.num_compute} compute / "
+            f"{self.num_memory} memory / {self.num_idle} idle>"
+        )

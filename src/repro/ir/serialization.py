@@ -1,0 +1,64 @@
+"""JSON serialisation of computation graphs.
+
+The paper ingests networks in ONNX format.  We provide an equivalent
+self-contained JSON representation ("ONNX-like") so graphs can be saved,
+inspected and reloaded without a protobuf dependency.  The format is the
+dictionary produced by :meth:`repro.ir.graph.Graph.to_dict`, wrapped with a
+format version so future changes stay backwards compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .graph import Graph
+
+FORMAT_NAME = "repro-graph"
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a serialised graph cannot be parsed."""
+
+
+def graph_to_json(graph: Graph, indent: int = 2) -> str:
+    """Serialise a graph to a JSON string."""
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "graph": graph.to_dict(),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Parse a graph from a JSON string produced by :func:`graph_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+        raise SerializationError("not a repro graph document")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported graph format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    graph_data = payload.get("graph")
+    if not isinstance(graph_data, dict):
+        raise SerializationError("missing 'graph' section")
+    return Graph.from_dict(graph_data)
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> Path:
+    """Write a graph to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(graph_to_json(graph))
+    return path
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Load a graph from a JSON file."""
+    return graph_from_json(Path(path).read_text())

@@ -1,0 +1,289 @@
+"""Graph-level transforms used by the compilation front end.
+
+Two transforms matter to the dual-mode compiler:
+
+* :func:`partition_operator` — splits a CIM-mappable operator whose
+  stationary matrix does not fit on the chip into sub-operators that do
+  (the greedy partitioning step described in §4.3.1 of the paper).
+* :func:`tile_counts` / :func:`arrays_for_stationary` — the basic tiling
+  arithmetic shared by the compiler and the baselines: how many
+  ``array_size_h x array_size_w`` arrays a ``K x N`` matrix occupies.
+
+Both operate purely on metadata; the functional simulator performs the
+corresponding tensor slicing when it executes sub-operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+from .operators import MatMulLike, MatmulDims, Operator
+from .tensor import TensorSpec
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def tile_counts(dims: MatmulDims, array_rows: int, array_cols: int) -> Tuple[int, int]:
+    """Number of array tiles along K (rows) and N (columns).
+
+    The stationary ``K x N`` matrix is cut into ``ceil(K/rows) x
+    ceil(N/cols)`` tiles, each mapped onto one CIM array.
+    """
+    return ceil_div(dims.k, array_rows), ceil_div(dims.n, array_cols)
+
+
+def arrays_for_stationary(dims: MatmulDims, array_rows: int, array_cols: int) -> int:
+    """Minimum number of compute-mode arrays that hold the stationary matrix."""
+    tiles_k, tiles_n = tile_counts(dims, array_rows, array_cols)
+    return tiles_k * tiles_n
+
+
+def arrays_for_elements(num_elements: int, array_rows: int, array_cols: int) -> int:
+    """Number of memory-mode arrays needed to buffer ``num_elements`` values.
+
+    A memory-mode array stores ``rows x cols`` elements (8-bit cells storing
+    8-bit values in the DynaPlasia-style configuration).
+    """
+    capacity = array_rows * array_cols
+    return ceil_div(max(num_elements, 0), capacity) if num_elements > 0 else 0
+
+
+@dataclass(frozen=True)
+class SubOperator:
+    """A shard of a CIM-mappable operator produced by partitioning.
+
+    Attributes:
+        operator: The shard, itself a normal CIM-mappable operator.
+        parent: Name of the original operator.
+        index: Shard index within the parent (execution order).
+        total: Total number of shards of the parent.
+        k_range: Half-open slice of the K dimension covered by this shard.
+        n_range: Half-open slice of the N dimension covered by this shard.
+    """
+
+    operator: Operator
+    parent: str
+    index: int
+    total: int
+    k_range: Tuple[int, int]
+    n_range: Tuple[int, int]
+
+    @property
+    def is_partial_sum(self) -> bool:
+        """Whether the shard produces partial sums that must be accumulated.
+
+        Shards that split the K (reduction) dimension produce partial
+        results; shards that only split N produce disjoint output columns.
+        """
+        return int(self.operator.attrs.get("k_splits", 1)) > 1
+
+
+def partition_operator(
+    op: Operator,
+    max_stationary_elements: int,
+    array_rows: int,
+    array_cols: int,
+) -> List[SubOperator]:
+    """Greedily split an operator so every shard's stationary matrix fits.
+
+    The paper partitions operators "with the partition granularity
+    determined by the available on-chip resources" so that "each resulting
+    sub-operator can be fully mapped onto the chip".  We split the
+    stationary ``K x N`` matrix first along N (output columns, which
+    produces independent shards) and then along K (reduction, which
+    produces partial-sum shards), always in multiples of the array tile
+    size so no array is fragmented.
+
+    Args:
+        op: A CIM-mappable operator.
+        max_stationary_elements: Capacity budget (elements) for one shard's
+            stationary matrix — typically ``available_arrays * rows * cols``.
+        array_rows: CIM array row count.
+        array_cols: CIM array column count.
+
+    Returns:
+        The list of shards in execution order.  If the operator already
+        fits, a single shard covering the whole operator is returned.
+
+    Raises:
+        ValueError: If the operator is not CIM-mappable or the budget is
+            smaller than a single array tile.
+    """
+    if not op.is_cim_mappable:
+        raise ValueError(f"cannot partition non-mappable operator {op.name!r}")
+    if max_stationary_elements < array_rows * array_cols:
+        raise ValueError(
+            "partition budget smaller than a single CIM array "
+            f"({max_stationary_elements} < {array_rows * array_cols})"
+        )
+    dims = op.matmul_dims()
+    if dims.stationary_elements <= max_stationary_elements:
+        return [
+            SubOperator(
+                operator=op,
+                parent=op.name,
+                index=0,
+                total=1,
+                k_range=(0, dims.k),
+                n_range=(0, dims.n),
+            )
+        ]
+
+    # How many whole array tiles fit in the budget.
+    budget_tiles = max(1, max_stationary_elements // (array_rows * array_cols))
+    tiles_k, tiles_n = tile_counts(dims, array_rows, array_cols)
+
+    # Prefer splitting along N: shards own disjoint output columns.
+    tiles_n_per_shard = min(tiles_n, budget_tiles)
+    tiles_k_per_shard = max(1, min(tiles_k, budget_tiles // tiles_n_per_shard))
+
+    n_per_shard = min(dims.n, tiles_n_per_shard * array_cols)
+    k_per_shard = min(dims.k, tiles_k_per_shard * array_rows)
+
+    shards: List[SubOperator] = []
+    n_splits = ceil_div(dims.n, n_per_shard)
+    k_splits = ceil_div(dims.k, k_per_shard)
+    total = n_splits * k_splits
+    index = 0
+    for ni in range(n_splits):
+        n_lo = ni * n_per_shard
+        n_hi = min(dims.n, n_lo + n_per_shard)
+        for ki in range(k_splits):
+            k_lo = ki * k_per_shard
+            k_hi = min(dims.k, k_lo + k_per_shard)
+            shard_op = _make_shard(
+                op, dims, index, total, (k_lo, k_hi), (n_lo, n_hi), k_splits, n_splits
+            )
+            shards.append(
+                SubOperator(
+                    operator=shard_op,
+                    parent=op.name,
+                    index=index,
+                    total=total,
+                    k_range=(k_lo, k_hi),
+                    n_range=(n_lo, n_hi),
+                )
+            )
+            index += 1
+    return shards
+
+
+def _make_shard(
+    op: Operator,
+    dims: MatmulDims,
+    index: int,
+    total: int,
+    k_range: Tuple[int, int],
+    n_range: Tuple[int, int],
+    k_splits: int = 1,
+    n_splits: int = 1,
+) -> Operator:
+    """Build a shard operator covering a (K, N) sub-block of ``op``.
+
+    Shards are expressed as generic matmul-like operators so downstream
+    stages (allocation, code generation, simulation) treat them uniformly.
+    The shard inherits the parent's static/dynamic weight nature.
+    """
+    from .operators import Linear, MatMul
+
+    k_lo, k_hi = k_range
+    n_lo, n_hi = n_range
+    sub_k = k_hi - k_lo
+    sub_n = n_hi - n_lo
+    dtype = op.outputs[0].dtype
+    suffix = f"{op.name}::part{index}"
+    lhs = TensorSpec(f"{suffix}_in", (dims.m, sub_k), dtype=dtype)
+    out = TensorSpec(f"{suffix}_out", (dims.m, sub_n), dtype=dtype)
+    if op.has_static_weight:
+        weight = TensorSpec(f"{suffix}_w", (sub_k, sub_n), dtype=dtype)
+        shard: Operator = Linear(suffix, input=lhs, output=out, weight=weight, bias=False)
+    else:
+        rhs = TensorSpec(f"{suffix}_rhs", (sub_k, sub_n), dtype=dtype)
+        shard = MatMul(suffix, lhs=lhs, rhs=rhs, output=out)
+    shard.attrs.update(
+        {
+            "parent": op.name,
+            "parent_op_type": op.op_type,
+            "partition_index": index,
+            "partition_total": total,
+            "k_range": [k_lo, k_hi],
+            "n_range": [n_lo, n_hi],
+            "k_splits": k_splits,
+            "n_splits": n_splits,
+        }
+    )
+    return shard
+
+
+def lower_to_matmuls(graph: Graph) -> List[Operator]:
+    """Return the CIM-mappable operators of a graph in topological order.
+
+    This is the paper's ``Flatten(G)`` step in Algorithm 1: the network is
+    reduced to the ordered list of operators the CIM arrays execute;
+    auxiliary operators contribute their activation traffic to their
+    nearest mappable successor via the cost model, not to the operator
+    list itself.
+    """
+    return graph.cim_operators()
+
+
+#: Auxiliary operator types that are fused into the neighbouring MVM/MMM by
+#: every compiler under comparison (computed on the peripheral function
+#: units as data streams past) and therefore add no extra memory traffic.
+FUSEABLE_OP_TYPES = {"activation", "elementwise", "normalization"}
+
+
+def fuse_auxiliary_traffic(graph: Graph) -> dict:
+    """Attribute auxiliary-operator traffic to neighbouring mappable ops.
+
+    Softmax, pooling, concatenation and embedding operators run on the
+    peripheral function units while their activations still occupy buffer
+    space and bandwidth; their output traffic is folded into the next
+    CIM-mappable operator downstream (or the previous one upstream if they
+    have no mappable successor).  Purely element-wise operators
+    (activations, normalisation, residual adds) are fused into the
+    producing MVM/MMM and add no traffic — the standard operator-fusion
+    assumption shared by CMSwitch and all baselines.
+
+    Returns:
+        Mapping of mappable-operator name to extra streamed elements.
+    """
+    extra: dict = {op.name: 0 for op in graph.cim_operators()}
+    order = graph.topological_order()
+    mappable_names = set(extra)
+    for op in order:
+        if op.is_cim_mappable or op.is_view or op.op_type in FUSEABLE_OP_TYPES:
+            continue
+        target = _nearest_mappable(graph, op, mappable_names, forward=True)
+        if target is None:
+            target = _nearest_mappable(graph, op, mappable_names, forward=False)
+        if target is not None:
+            extra[target] += op.output_elements
+    return extra
+
+
+def _nearest_mappable(graph: Graph, op: Operator, names: set, forward: bool) -> Optional[str]:
+    """Breadth-first search for the nearest CIM-mappable neighbour."""
+    frontier = graph.successors(op) if forward else graph.predecessors(op)
+    visited = {op.name}
+    while frontier:
+        next_frontier = []
+        for candidate in frontier:
+            if candidate.name in visited:
+                continue
+            visited.add(candidate.name)
+            if candidate.name in names:
+                return candidate.name
+            next_frontier.extend(
+                graph.successors(candidate) if forward else graph.predecessors(candidate)
+            )
+        frontier = next_frontier
+    return None

@@ -1,0 +1,13 @@
+"""Convolutional model zoo (ResNet, VGG, MobileNetV2)."""
+
+from .mobilenet import build_mobilenet_v2
+from .resnet import build_resnet18, build_resnet50
+from .vgg import build_vgg11, build_vgg16
+
+__all__ = [
+    "build_mobilenet_v2",
+    "build_resnet18",
+    "build_resnet50",
+    "build_vgg11",
+    "build_vgg16",
+]

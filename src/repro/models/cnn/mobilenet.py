@@ -1,0 +1,91 @@
+"""MobileNetV2 (Sandler et al., 2018).
+
+MobileNetV2 is the smallest CNN benchmark in the paper (Fig. 14,
+"MobileNet").  Its inverted-residual blocks mix 1x1 pointwise convolutions
+with depthwise 3x3 convolutions, giving it much lower arithmetic intensity
+per layer than VGG/ResNet and therefore smaller but non-trivial gains from
+dual-mode switching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...ir.builder import GraphBuilder
+from ...ir.graph import Graph
+from ...ir.tensor import DataType, TensorSpec
+from ..workload import Workload
+
+# (expansion factor, output channels, number of blocks, first-block stride)
+MOBILENET_V2_LAYOUT: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    builder: GraphBuilder,
+    x: TensorSpec,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+    name: str,
+) -> TensorSpec:
+    """MobileNetV2 inverted-residual block (expand -> depthwise -> project)."""
+    in_channels = x.shape[1]
+    hidden = in_channels * expansion
+    identity = x
+    y = x
+    if expansion != 1:
+        y = builder.conv2d(y, hidden, kernel=1, stride=1, padding=0, name=f"{name}_expand")
+        y = builder.batchnorm(y, name=f"{name}_expand_bn")
+        y = builder.activation(y, "relu", name=f"{name}_expand_relu")
+    y = builder.conv2d(
+        y, hidden, kernel=3, stride=stride, padding=1, groups=hidden, name=f"{name}_depthwise"
+    )
+    y = builder.batchnorm(y, name=f"{name}_dw_bn")
+    y = builder.activation(y, "relu", name=f"{name}_dw_relu")
+    y = builder.conv2d(y, out_channels, kernel=1, stride=1, padding=0, name=f"{name}_project")
+    y = builder.batchnorm(y, name=f"{name}_project_bn")
+    if stride == 1 and in_channels == out_channels:
+        y = builder.add(y, identity, name=f"{name}_residual")
+    return y
+
+
+def build_mobilenet_v2(workload: Workload, dtype: DataType = DataType.INT8) -> Graph:
+    """Build MobileNetV2 at ImageNet resolution."""
+    builder = GraphBuilder("mobilenet-v2", dtype=dtype)
+    x = builder.input("image", (workload.batch_size, 3, workload.image_size, workload.image_size))
+    x = builder.conv2d(x, 32, kernel=3, stride=2, padding=1, name="stem_conv")
+    x = builder.batchnorm(x, name="stem_bn")
+    x = builder.relu(x, name="stem_relu")
+    block_index = 0
+    for expansion, channels, repeats, first_stride in MOBILENET_V2_LAYOUT:
+        for i in range(repeats):
+            block_index += 1
+            stride = first_stride if i == 0 else 1
+            x = _inverted_residual(
+                builder, x, expansion, channels, stride, name=f"block{block_index}"
+            )
+    x = builder.conv2d(x, 1280, kernel=1, stride=1, padding=0, name="head_conv")
+    x = builder.batchnorm(x, name="head_bn")
+    x = builder.relu(x, name="head_relu")
+    x = builder.global_avg_pool(x, name="gap")
+    x = builder.linear(x, 1000, name="classifier")
+    builder.output(x)
+    graph = builder.finish()
+    graph.metadata.update(
+        {
+            "family": "cnn",
+            "model": "mobilenet-v2",
+            "batch_size": workload.batch_size,
+            "image_size": workload.image_size,
+            "block_repeat": 1.0,
+        }
+    )
+    return graph

@@ -1,0 +1,122 @@
+"""ResNet image classifiers (He et al., 2016).
+
+ResNet-18 (basic blocks) is part of the end-to-end benchmark set
+(Fig. 14); ResNet-50 (bottleneck blocks) drives the motivation studies on
+arithmetic intensity and compute/memory preference (Figs. 1(b), 5, 6(a)).
+The graphs are built at ImageNet resolution with batch-norm folded as a
+separate normalisation operator after every convolution, matching what an
+ONNX export of the torchvision models contains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...ir.builder import GraphBuilder
+from ...ir.graph import Graph
+from ...ir.tensor import DataType, TensorSpec
+from ..workload import Workload
+
+
+def _stem(builder: GraphBuilder, x: TensorSpec) -> TensorSpec:
+    """7x7 stride-2 stem convolution followed by 3x3 max-pooling."""
+    x = builder.conv2d(x, 64, kernel=7, stride=2, padding=3, name="stem_conv")
+    x = builder.batchnorm(x, name="stem_bn")
+    x = builder.relu(x, name="stem_relu")
+    return builder.pool2d(x, kernel=3, stride=2, padding=1, mode="max", name="stem_pool")
+
+
+def _basic_block(
+    builder: GraphBuilder,
+    x: TensorSpec,
+    out_channels: int,
+    stride: int,
+    name: str,
+) -> TensorSpec:
+    """ResNet-18/34 basic block: two 3x3 convolutions plus a shortcut."""
+    identity = x
+    y = builder.conv2d(x, out_channels, kernel=3, stride=stride, padding=1, name=f"{name}_conv1")
+    y = builder.batchnorm(y, name=f"{name}_bn1")
+    y = builder.relu(y, name=f"{name}_relu1")
+    y = builder.conv2d(y, out_channels, kernel=3, stride=1, padding=1, name=f"{name}_conv2")
+    y = builder.batchnorm(y, name=f"{name}_bn2")
+    if stride != 1 or x.shape[1] != out_channels:
+        identity = builder.conv2d(
+            x, out_channels, kernel=1, stride=stride, padding=0, name=f"{name}_downsample"
+        )
+        identity = builder.batchnorm(identity, name=f"{name}_downsample_bn")
+    y = builder.add(y, identity, name=f"{name}_residual")
+    return builder.relu(y, name=f"{name}_relu2")
+
+
+def _bottleneck_block(
+    builder: GraphBuilder,
+    x: TensorSpec,
+    mid_channels: int,
+    stride: int,
+    name: str,
+) -> TensorSpec:
+    """ResNet-50 bottleneck block: 1x1 reduce, 3x3, 1x1 expand (4x)."""
+    out_channels = mid_channels * 4
+    identity = x
+    y = builder.conv2d(x, mid_channels, kernel=1, stride=1, padding=0, name=f"{name}_conv1")
+    y = builder.batchnorm(y, name=f"{name}_bn1")
+    y = builder.relu(y, name=f"{name}_relu1")
+    y = builder.conv2d(y, mid_channels, kernel=3, stride=stride, padding=1, name=f"{name}_conv2")
+    y = builder.batchnorm(y, name=f"{name}_bn2")
+    y = builder.relu(y, name=f"{name}_relu2")
+    y = builder.conv2d(y, out_channels, kernel=1, stride=1, padding=0, name=f"{name}_conv3")
+    y = builder.batchnorm(y, name=f"{name}_bn3")
+    if stride != 1 or x.shape[1] != out_channels:
+        identity = builder.conv2d(
+            x, out_channels, kernel=1, stride=stride, padding=0, name=f"{name}_downsample"
+        )
+        identity = builder.batchnorm(identity, name=f"{name}_downsample_bn")
+    y = builder.add(y, identity, name=f"{name}_residual")
+    return builder.relu(y, name=f"{name}_relu3")
+
+
+def _build_resnet(
+    name: str,
+    workload: Workload,
+    stage_blocks: Sequence[int],
+    bottleneck: bool,
+    dtype: DataType,
+) -> Graph:
+    """Assemble a ResNet graph with the requested stage configuration."""
+    builder = GraphBuilder(name, dtype=dtype)
+    x = builder.input("image", (workload.batch_size, 3, workload.image_size, workload.image_size))
+    x = _stem(builder, x)
+    stage_channels = (64, 128, 256, 512)
+    for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, stage_channels)):
+        for block_index in range(blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            block_name = f"stage{stage_index + 1}_block{block_index + 1}"
+            if bottleneck:
+                x = _bottleneck_block(builder, x, channels, stride, block_name)
+            else:
+                x = _basic_block(builder, x, channels, stride, block_name)
+    x = builder.global_avg_pool(x, name="gap")
+    x = builder.linear(x, 1000, name="classifier")
+    builder.output(x)
+    graph = builder.finish()
+    graph.metadata.update(
+        {
+            "family": "cnn",
+            "model": name,
+            "batch_size": workload.batch_size,
+            "image_size": workload.image_size,
+            "block_repeat": 1.0,
+        }
+    )
+    return graph
+
+
+def build_resnet18(workload: Workload, dtype: DataType = DataType.INT8) -> Graph:
+    """Build ResNet-18 at ImageNet resolution."""
+    return _build_resnet("resnet18", workload, (2, 2, 2, 2), bottleneck=False, dtype=dtype)
+
+
+def build_resnet50(workload: Workload, dtype: DataType = DataType.INT8) -> Graph:
+    """Build ResNet-50 at ImageNet resolution."""
+    return _build_resnet("resnet50", workload, (3, 4, 6, 3), bottleneck=True, dtype=dtype)

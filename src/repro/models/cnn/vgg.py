@@ -1,0 +1,80 @@
+"""VGG image classifiers (Simonyan & Zisserman, 2014).
+
+VGG-16 is the highest-arithmetic-intensity CNN in the paper's benchmark
+set and the subject of the allocation visualisation in Fig. 15(a): early
+convolutions (few channels, large feature maps) receive mostly compute
+arrays while the final convolutions (many channels) receive memory arrays
+for input bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ...ir.builder import GraphBuilder
+from ...ir.graph import Graph
+from ...ir.tensor import DataType
+from ..workload import Workload
+
+# Configuration "D" from the original paper: numbers are output channels,
+# "M" marks a 2x2 max-pooling layer.
+VGG16_LAYOUT: Tuple[Union[int, str], ...] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+VGG11_LAYOUT: Tuple[Union[int, str], ...] = (
+    64, "M",
+    128, "M",
+    256, 256, "M",
+    512, 512, "M",
+    512, 512, "M",
+)
+
+
+def _build_vgg(
+    name: str, workload: Workload, layout: Sequence[Union[int, str]], dtype: DataType
+) -> Graph:
+    """Assemble a VGG graph from a channel/pooling layout string."""
+    builder = GraphBuilder(name, dtype=dtype)
+    x = builder.input("image", (workload.batch_size, 3, workload.image_size, workload.image_size))
+    conv_index = 0
+    for entry in layout:
+        if entry == "M":
+            x = builder.pool2d(x, kernel=2, stride=2, mode="max")
+            continue
+        conv_index += 1
+        x = builder.conv2d(x, int(entry), kernel=3, stride=1, padding=1, name=f"conv{conv_index}")
+        x = builder.relu(x, name=f"relu{conv_index}")
+    n, c, h, w = x.shape
+    x = builder.reshape(x, (n, c * h * w), name="flatten")
+    x = builder.linear(x, 4096, name="fc1")
+    x = builder.relu(x, name="fc1_relu")
+    x = builder.linear(x, 4096, name="fc2")
+    x = builder.relu(x, name="fc2_relu")
+    x = builder.linear(x, 1000, name="fc3")
+    builder.output(x)
+    graph = builder.finish()
+    graph.metadata.update(
+        {
+            "family": "cnn",
+            "model": name,
+            "batch_size": workload.batch_size,
+            "image_size": workload.image_size,
+            "block_repeat": 1.0,
+        }
+    )
+    return graph
+
+
+def build_vgg16(workload: Workload, dtype: DataType = DataType.INT8) -> Graph:
+    """Build VGG-16 at ImageNet resolution."""
+    return _build_vgg("vgg16", workload, VGG16_LAYOUT, dtype)
+
+
+def build_vgg11(workload: Workload, dtype: DataType = DataType.INT8) -> Graph:
+    """Build VGG-11 at ImageNet resolution (a smaller variant for tests)."""
+    return _build_vgg("vgg11", workload, VGG11_LAYOUT, dtype)

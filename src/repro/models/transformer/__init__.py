@@ -1,0 +1,31 @@
+"""Transformer model zoo (BERT, GPT-2, LLaMA 2, OPT)."""
+
+from .bert import BERT_BASE, BERT_LARGE, build_bert_base, build_bert_large
+from .common import TransformerConfig, add_transformer_block, build_transformer_graph
+from .gpt import GPT2_SMALL, GPT2_XL, build_gpt2, build_gpt2_xl
+from .llama import LLAMA2_7B, LLAMA2_13B, build_llama2_7b, build_llama2_13b
+from .opt import OPT_1_3B, OPT_6_7B, OPT_13B, build_opt_1_3b, build_opt_6_7b, build_opt_13b
+
+__all__ = [
+    "BERT_BASE",
+    "BERT_LARGE",
+    "GPT2_SMALL",
+    "GPT2_XL",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "OPT_1_3B",
+    "OPT_6_7B",
+    "OPT_13B",
+    "TransformerConfig",
+    "add_transformer_block",
+    "build_bert_base",
+    "build_bert_large",
+    "build_gpt2",
+    "build_gpt2_xl",
+    "build_llama2_7b",
+    "build_llama2_13b",
+    "build_opt_1_3b",
+    "build_opt_6_7b",
+    "build_opt_13b",
+    "build_transformer_graph",
+]

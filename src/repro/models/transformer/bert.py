@@ -1,0 +1,53 @@
+"""BERT encoder models (Devlin et al., 2018).
+
+BERT-base and BERT-large are the encoder-only benchmarks of the paper
+(Figs. 1(b), 5(c), 6(b), 14, 16).  Encoders process the whole sequence in
+one pass, so the workload phase is forced to ``ENCODE``.
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.tensor import DataType
+from ..workload import Workload
+from .common import TransformerConfig, build_transformer_graph
+
+BERT_BASE = TransformerConfig(
+    name="bert-base",
+    hidden_size=768,
+    num_layers=12,
+    num_heads=12,
+    ffn_hidden=3072,
+    vocab_size=30522,
+    activation="gelu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=False,
+)
+
+BERT_LARGE = TransformerConfig(
+    name="bert-large",
+    hidden_size=1024,
+    num_layers=24,
+    num_heads=16,
+    ffn_hidden=4096,
+    vocab_size=30522,
+    activation="gelu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=False,
+)
+
+
+def build_bert_base(
+    workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8
+) -> Graph:
+    """Build a BERT-base encoder graph."""
+    return build_transformer_graph(BERT_BASE, workload.encode(), blocks=blocks, dtype=dtype)
+
+
+def build_bert_large(
+    workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8
+) -> Graph:
+    """Build a BERT-large encoder graph (the paper's "BERT" benchmark)."""
+    return build_transformer_graph(BERT_LARGE, workload.encode(), blocks=blocks, dtype=dtype)

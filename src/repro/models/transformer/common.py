@@ -1,0 +1,252 @@
+"""Shared transformer building blocks.
+
+All transformer models in the paper's benchmark set (BERT, GPT, OPT,
+LLaMA 2) share the same block skeleton — multi-head attention followed by a
+feed-forward network — and differ only in dimensions, activation function,
+normalisation style and whether the FFN is gated.  This module builds that
+skeleton for either an encoder / prefill pass (sequence-parallel attention)
+or a single autoregressive decode step (GEMV-shaped attention against the
+KV cache).
+
+Following §5.6 of the paper ("the compilation results of a single block
+[can] be reused across all layers"), the default graph contains one
+physical block and records ``block_repeat`` metadata so end-to-end latency
+is obtained by multiplying the compiled block latency by the layer count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...ir.builder import GraphBuilder
+from ...ir.graph import Graph
+from ...ir.tensor import DataType, TensorSpec
+from ..workload import Phase, Workload
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyper-parameters of a transformer model.
+
+    Attributes:
+        name: Model identifier, e.g. ``"llama2-7b"``.
+        hidden_size: Model (embedding) dimension.
+        num_layers: Number of transformer blocks.
+        num_heads: Number of attention heads.
+        ffn_hidden: Feed-forward inner dimension.
+        vocab_size: Vocabulary size (embedding / LM-head width).
+        activation: FFN activation function name.
+        gated_ffn: Whether the FFN uses a gated (SwiGLU-style) structure.
+        norm: ``"layernorm"`` or ``"rmsnorm"``.
+        num_kv_heads: Number of key/value heads (grouped-query attention);
+            equal to ``num_heads`` for standard multi-head attention.
+        causal: Whether attention is causal (decoder-style).
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    ffn_hidden: int
+    vocab_size: int = 32000
+    activation: str = "gelu"
+    gated_ffn: bool = False
+    norm: str = "layernorm"
+    num_kv_heads: Optional[int] = None
+    causal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_heads(self) -> int:
+        """Number of key/value heads."""
+        return self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+
+    @property
+    def kv_hidden(self) -> int:
+        """Total key/value projection width."""
+        return self.kv_heads * self.head_dim
+
+    @property
+    def approx_parameters(self) -> int:
+        """Approximate parameter count of the full model (weights only)."""
+        per_block = (
+            self.hidden_size * self.hidden_size  # Q
+            + 2 * self.hidden_size * self.kv_hidden  # K, V
+            + self.hidden_size * self.hidden_size  # output projection
+        )
+        if self.gated_ffn:
+            per_block += 3 * self.hidden_size * self.ffn_hidden
+        else:
+            per_block += 2 * self.hidden_size * self.ffn_hidden
+        embeddings = self.vocab_size * self.hidden_size
+        return self.num_layers * per_block + 2 * embeddings
+
+
+def attention_sequence_lengths(config: TransformerConfig, workload: Workload) -> tuple:
+    """Query length and key/value length implied by the workload phase.
+
+    Returns:
+        ``(q_len, kv_len)``: prefill and encoder passes attend over the
+        whole input (``q_len == kv_len == seq_len``); a decode step issues
+        one query against the accumulated cache.
+    """
+    if workload.phase is Phase.DECODE:
+        return 1, workload.effective_kv_len
+    return workload.seq_len, workload.seq_len
+
+
+def add_transformer_block(
+    builder: GraphBuilder,
+    config: TransformerConfig,
+    x: TensorSpec,
+    block_index: int,
+    workload: Workload,
+) -> TensorSpec:
+    """Append one transformer block to ``builder`` and return its output.
+
+    The block follows the pre-norm decoder layout used by GPT/OPT/LLaMA;
+    encoder models reuse the same structure (the post-norm difference does
+    not change any shape or cost the compiler sees).
+    """
+    batch = workload.batch_size
+    hidden = config.hidden_size
+    heads = config.num_heads
+    kv_heads = config.kv_heads
+    head_dim = config.head_dim
+    q_len, kv_len = attention_sequence_lengths(config, workload)
+    prefix = f"layer{block_index}"
+
+    def norm(t: TensorSpec, tag: str) -> TensorSpec:
+        if config.norm == "rmsnorm":
+            return builder.rmsnorm(t, name=f"{prefix}_{tag}")
+        return builder.layernorm(t, name=f"{prefix}_{tag}")
+
+    # ---------------- multi-head attention ---------------- #
+    normed = norm(x, "attn_norm")
+    q = builder.linear(normed, hidden, name=f"{prefix}_q_proj")
+    k = builder.linear(normed, config.kv_hidden, name=f"{prefix}_k_proj")
+    v = builder.linear(normed, config.kv_hidden, name=f"{prefix}_v_proj")
+
+    q_heads = builder.reshape(q, (batch * heads, q_len, head_dim), name=f"{prefix}_q_heads")
+
+    if workload.phase is Phase.DECODE:
+        # The freshly projected K/V cover one token; the rest of the cache
+        # is an external input (it was produced by earlier steps and lives
+        # in on-chip memory arrays or main memory).
+        k_cache = builder.input(
+            f"{prefix}_k_cache", (batch * kv_heads, head_dim, kv_len - 1)
+        )
+        v_cache = builder.input(f"{prefix}_v_cache", (batch * kv_heads, kv_len - 1, head_dim))
+        k_new = builder.reshape(k, (batch * kv_heads, head_dim, 1), name=f"{prefix}_k_new")
+        v_new = builder.reshape(v, (batch * kv_heads, 1, head_dim), name=f"{prefix}_v_new")
+        k_t = builder.concat([k_cache, k_new], axis=2, name=f"{prefix}_k_concat")
+        v_full = builder.concat([v_cache, v_new], axis=1, name=f"{prefix}_v_concat")
+    else:
+        k_t = builder.reshape(k, (batch * kv_heads, head_dim, kv_len), name=f"{prefix}_k_t")
+        v_full = builder.reshape(v, (batch * kv_heads, kv_len, head_dim), name=f"{prefix}_v_heads")
+
+    if kv_heads != heads:
+        # Grouped-query attention: K/V are shared across query groups.  The
+        # score product still spans every query head; model this by viewing
+        # the KV tensors at query-head granularity (metadata only).
+        k_t = builder.reshape(
+            k_t, (batch * kv_heads, head_dim, k_t.shape[-1]), name=f"{prefix}_k_gqa"
+        )
+
+    scores = builder.matmul(q_heads, k_t, name=f"{prefix}_qk")
+    probs = builder.softmax(scores, name=f"{prefix}_softmax")
+    context = builder.matmul(probs, v_full, name=f"{prefix}_sv")
+    context_flat = builder.reshape(
+        context, (batch, q_len, hidden), name=f"{prefix}_ctx_merge"
+    )
+    attn_out = builder.linear(context_flat, hidden, name=f"{prefix}_o_proj")
+    x = builder.add(x, attn_out, name=f"{prefix}_attn_residual")
+
+    # ---------------- feed-forward network ---------------- #
+    normed = norm(x, "ffn_norm")
+    if config.gated_ffn:
+        gate = builder.linear(normed, config.ffn_hidden, name=f"{prefix}_ffn_gate")
+        up = builder.linear(normed, config.ffn_hidden, name=f"{prefix}_ffn_up")
+        gate_act = builder.activation(gate, config.activation, name=f"{prefix}_ffn_act")
+        fused = builder.mul(gate_act, up, name=f"{prefix}_ffn_gated")
+        down = builder.linear(fused, hidden, name=f"{prefix}_ffn_down")
+    else:
+        inner = builder.linear(normed, config.ffn_hidden, name=f"{prefix}_ffn_fc1")
+        inner_act = builder.activation(inner, config.activation, name=f"{prefix}_ffn_act")
+        down = builder.linear(inner_act, hidden, name=f"{prefix}_ffn_fc2")
+    return builder.add(x, down, name=f"{prefix}_ffn_residual")
+
+
+def build_transformer_graph(
+    config: TransformerConfig,
+    workload: Workload,
+    blocks: int = 1,
+    include_lm_head: bool = False,
+    dtype: DataType = DataType.INT8,
+) -> Graph:
+    """Build a transformer graph for the given workload.
+
+    Args:
+        config: Architecture description.
+        workload: Batch size, sequence lengths and phase.
+        blocks: Number of physical blocks to materialise.  The remaining
+            ``num_layers - blocks`` layers are represented through the
+            ``block_repeat`` metadata entry (per-block compilation reuse).
+        include_lm_head: Whether to append the final norm and LM head /
+            classification projection.
+        dtype: Activation/weight element type (paper: INT8).
+
+    Returns:
+        The constructed, validated graph.  ``graph.metadata`` records the
+        configuration, workload and repetition factor.
+    """
+    if blocks < 1:
+        raise ValueError("must build at least one physical block")
+    blocks = min(blocks, config.num_layers)
+    builder = GraphBuilder(config.name, dtype=dtype)
+    q_len, kv_len = attention_sequence_lengths(config, workload)
+    x = builder.input("hidden_in", (workload.batch_size, q_len, config.hidden_size))
+    for i in range(blocks):
+        x = add_transformer_block(builder, config, x, i, workload)
+    if include_lm_head:
+        x_norm = (
+            builder.rmsnorm(x, name="final_norm")
+            if config.norm == "rmsnorm"
+            else builder.layernorm(x, name="final_norm")
+        )
+        x = builder.linear(x_norm, config.vocab_size, name="lm_head")
+    builder.output(x)
+    graph = builder.finish()
+    graph.metadata.update(
+        {
+            "family": "transformer",
+            "model": config.name,
+            "hidden_size": config.hidden_size,
+            "num_layers": config.num_layers,
+            "num_heads": config.num_heads,
+            "ffn_hidden": config.ffn_hidden,
+            "physical_blocks": blocks,
+            "block_repeat": config.num_layers / blocks,
+            "phase": workload.phase.value,
+            "batch_size": workload.batch_size,
+            "seq_len": workload.seq_len,
+            "kv_len": kv_len,
+            "q_len": q_len,
+            "output_len": workload.output_len,
+            "approx_parameters": config.approx_parameters,
+            "includes_lm_head": include_lm_head,
+        }
+    )
+    return graph

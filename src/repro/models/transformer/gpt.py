@@ -1,0 +1,49 @@
+"""GPT-2 family decoder models (Radford et al., 2019 / Brown et al., 2020).
+
+GPT appears in the paper's motivation study (Fig. 1(b)).  We provide GPT-2
+(124M) and GPT-2-XL (1.5B) configurations; both are standard pre-norm
+decoders with a GELU feed-forward network.
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.tensor import DataType
+from ..workload import Workload
+from .common import TransformerConfig, build_transformer_graph
+
+GPT2_SMALL = TransformerConfig(
+    name="gpt2",
+    hidden_size=768,
+    num_layers=12,
+    num_heads=12,
+    ffn_hidden=3072,
+    vocab_size=50257,
+    activation="gelu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=True,
+)
+
+GPT2_XL = TransformerConfig(
+    name="gpt2-xl",
+    hidden_size=1600,
+    num_layers=48,
+    num_heads=25,
+    ffn_hidden=6400,
+    vocab_size=50257,
+    activation="gelu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=True,
+)
+
+
+def build_gpt2(workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8) -> Graph:
+    """Build a GPT-2 (124M) graph for the given workload phase."""
+    return build_transformer_graph(GPT2_SMALL, workload, blocks=blocks, dtype=dtype)
+
+
+def build_gpt2_xl(workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8) -> Graph:
+    """Build a GPT-2-XL (1.5B) graph for the given workload phase."""
+    return build_transformer_graph(GPT2_XL, workload, blocks=blocks, dtype=dtype)

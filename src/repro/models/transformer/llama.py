@@ -1,0 +1,55 @@
+"""LLaMA 2 decoder models (Touvron et al., 2023).
+
+LLaMA2-7B is the paper's flagship low-arithmetic-intensity benchmark: its
+weights cannot fit on the CIM chip and single-batch decoding is strongly
+memory-bound, which is exactly the regime where switching arrays to memory
+mode pays off.  The architecture uses RMSNorm and a gated (SwiGLU)
+feed-forward network.
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.tensor import DataType
+from ..workload import Workload
+from .common import TransformerConfig, build_transformer_graph
+
+LLAMA2_7B = TransformerConfig(
+    name="llama2-7b",
+    hidden_size=4096,
+    num_layers=32,
+    num_heads=32,
+    ffn_hidden=11008,
+    vocab_size=32000,
+    activation="silu",
+    gated_ffn=True,
+    norm="rmsnorm",
+    causal=True,
+)
+
+LLAMA2_13B = TransformerConfig(
+    name="llama2-13b",
+    hidden_size=5120,
+    num_layers=40,
+    num_heads=40,
+    ffn_hidden=13824,
+    vocab_size=32000,
+    activation="silu",
+    gated_ffn=True,
+    norm="rmsnorm",
+    causal=True,
+)
+
+
+def build_llama2_7b(
+    workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8
+) -> Graph:
+    """Build a LLaMA2-7B graph for the given workload phase."""
+    return build_transformer_graph(LLAMA2_7B, workload, blocks=blocks, dtype=dtype)
+
+
+def build_llama2_13b(
+    workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8
+) -> Graph:
+    """Build a LLaMA2-13B graph for the given workload phase."""
+    return build_transformer_graph(LLAMA2_13B, workload, blocks=blocks, dtype=dtype)

@@ -1,0 +1,68 @@
+"""OPT decoder models (Zhang et al., 2022).
+
+OPT-6.7B and OPT-13B are the largest decoder benchmarks in the paper;
+OPT-13B shows the biggest CMSwitch speedup (up to 2.03x over CIM-MLC in
+Fig. 14) because almost none of its weights fit on chip and its decode
+phase is dominated by data movement.
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.tensor import DataType
+from ..workload import Workload
+from .common import TransformerConfig, build_transformer_graph
+
+OPT_1_3B = TransformerConfig(
+    name="opt-1.3b",
+    hidden_size=2048,
+    num_layers=24,
+    num_heads=32,
+    ffn_hidden=8192,
+    vocab_size=50272,
+    activation="relu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=True,
+)
+
+OPT_6_7B = TransformerConfig(
+    name="opt-6.7b",
+    hidden_size=4096,
+    num_layers=32,
+    num_heads=32,
+    ffn_hidden=16384,
+    vocab_size=50272,
+    activation="relu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=True,
+)
+
+OPT_13B = TransformerConfig(
+    name="opt-13b",
+    hidden_size=5120,
+    num_layers=40,
+    num_heads=40,
+    ffn_hidden=20480,
+    vocab_size=50272,
+    activation="relu",
+    gated_ffn=False,
+    norm="layernorm",
+    causal=True,
+)
+
+
+def build_opt_1_3b(workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8) -> Graph:
+    """Build an OPT-1.3B graph for the given workload phase."""
+    return build_transformer_graph(OPT_1_3B, workload, blocks=blocks, dtype=dtype)
+
+
+def build_opt_6_7b(workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8) -> Graph:
+    """Build an OPT-6.7B graph for the given workload phase."""
+    return build_transformer_graph(OPT_6_7B, workload, blocks=blocks, dtype=dtype)
+
+
+def build_opt_13b(workload: Workload, blocks: int = 1, dtype: DataType = DataType.INT8) -> Graph:
+    """Build an OPT-13B graph for the given workload phase."""
+    return build_transformer_graph(OPT_13B, workload, blocks=blocks, dtype=dtype)

@@ -1,0 +1,25 @@
+"""Functional and timing simulators for compiled dual-mode CIM programs."""
+
+from .functional import (
+    FunctionalReport,
+    FunctionalSimulationError,
+    FunctionalSimulator,
+    OperatorCheck,
+    execute_tiled_matmul,
+)
+from .reference import ReferenceExecutor, ReferenceExecutionError, deterministic_tensor
+from .timing import TimingBreakdown, TimingReport, TimingSimulator
+
+__all__ = [
+    "FunctionalReport",
+    "FunctionalSimulationError",
+    "FunctionalSimulator",
+    "OperatorCheck",
+    "ReferenceExecutionError",
+    "ReferenceExecutor",
+    "TimingBreakdown",
+    "TimingReport",
+    "TimingSimulator",
+    "deterministic_tensor",
+    "execute_tiled_matmul",
+]

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Most compiler-level tests run against the deliberately small test chip and
+the tiny synthetic models so the whole suite stays fast; a handful of
+integration tests exercise the full DynaPlasia-sized configuration and the
+real benchmark networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.hardware import dynaplasia, prime, small_test_chip
+from repro.models import Phase, Workload, build_model
+
+
+@pytest.fixture(scope="session")
+def small_chip():
+    """The 8-array test chip."""
+    return small_test_chip()
+
+
+@pytest.fixture(scope="session")
+def dynaplasia_chip():
+    """The paper's DynaPlasia-like target (Table 2)."""
+    return dynaplasia()
+
+@pytest.fixture(scope="session")
+def prime_chip():
+    """The PRIME-like ReRAM target of the scalability study."""
+    return prime()
+
+
+@pytest.fixture(scope="session")
+def tiny_mlp_graph():
+    """Three-layer MLP."""
+    return build_model("tiny-mlp", Workload(batch_size=1))
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn_graph():
+    """Four-convolution CNN at 32x32."""
+    return build_model("tiny-cnn", Workload(batch_size=1))
+
+
+@pytest.fixture(scope="session")
+def tiny_transformer_graph():
+    """Two-block, 128-hidden transformer at sequence length 16."""
+    return build_model("tiny-transformer", Workload(batch_size=1, seq_len=16))
+
+
+@pytest.fixture(scope="session")
+def tiny_transformer_decode_graph():
+    """Tiny transformer single decode step with a KV cache of 16 tokens."""
+    return build_model(
+        "tiny-transformer", Workload(batch_size=1, seq_len=16, phase=Phase.DECODE)
+    )
+
+
+@pytest.fixture(scope="session")
+def compiled_tiny_cnn(small_chip, tiny_cnn_graph):
+    """Tiny CNN compiled for the small chip with code generation enabled."""
+    return CMSwitchCompiler(small_chip, CompilerOptions(generate_code=True)).compile(
+        tiny_cnn_graph
+    )
+
+
+@pytest.fixture(scope="session")
+def compiled_tiny_transformer(small_chip, tiny_transformer_graph):
+    """Tiny transformer compiled for the small chip."""
+    return CMSwitchCompiler(small_chip, CompilerOptions(generate_code=True)).compile(
+        tiny_transformer_graph
+    )
+
+
+@pytest.fixture(scope="session")
+def resnet18_graph():
+    """ResNet-18 at ImageNet resolution (used by a few integration tests)."""
+    return build_model("resnet18", Workload(batch_size=1))

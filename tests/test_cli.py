@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_models_command_parses(self):
+        args = build_parser().parse_args(["models"])
+        assert args.command == "models"
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "tiny-cnn"])
+        assert args.model == "tiny-cnn"
+        assert args.hardware == "dynaplasia"
+        assert args.batch == 1
+
+    def test_compare_workload_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "bert", "--batch", "4", "--seq-len", "128", "--phase", "encode"]
+        )
+        assert args.batch == 4 and args.seq_len == 128 and args.phase == "encode"
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out and "llama2-7b" in out
+
+    def test_hardware_summary(self, capsys):
+        assert main(["hardware", "dynaplasia"]) == 0
+        out = capsys.readouterr().out
+        assert "arrays" in out and "320x320" in out
+
+    def test_compile_small_model(self, capsys):
+        code = main(
+            [
+                "compile",
+                "tiny-cnn",
+                "--hardware",
+                "small-test-chip",
+                "--show-segments",
+                "--show-metaops",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cmswitch program" in out
+        assert "segment 0" in out
+        assert "parallel {" in out
+
+    def test_compare_small_model(self, capsys):
+        assert main(["compare", "tiny-transformer", "--hardware", "small-test-chip",
+                     "--seq-len", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "cmswitch" in out and "cim-mlc" in out and "x" in out
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["compile", "not-a-model", "--hardware", "small-test-chip"])

@@ -1,0 +1,156 @@
+"""Unit tests for the computation graph container (repro.ir.graph)."""
+
+import pytest
+
+from repro.ir import (
+    Graph,
+    GraphBuilder,
+    GraphError,
+    Linear,
+    TensorSpec,
+    graph_from_json,
+    graph_to_json,
+)
+from repro.ir.serialization import SerializationError, load_graph, save_graph
+
+
+def linear(name, in_name, out_name, k=8, n=8, m=4):
+    return Linear(
+        name,
+        input=TensorSpec(in_name, (m, k)),
+        output=TensorSpec(out_name, (m, n)),
+        weight=TensorSpec(f"{name}_w", (k, n)),
+    )
+
+
+@pytest.fixture
+def chain_graph():
+    graph = Graph("chain")
+    graph.add_input(TensorSpec("x", (4, 8)))
+    graph.add_operator(linear("fc1", "x", "h1"))
+    graph.add_operator(linear("fc2", "h1", "h2"))
+    graph.add_operator(linear("fc3", "h2", "y"))
+    graph.add_output(TensorSpec("y", (4, 8)))
+    return graph
+
+
+class TestConstruction:
+    def test_len_and_contains(self, chain_graph):
+        assert len(chain_graph) == 3
+        assert "fc2" in chain_graph
+        assert "missing" not in chain_graph
+
+    def test_duplicate_operator_name_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            chain_graph.add_operator(linear("fc1", "y", "z"))
+
+    def test_duplicate_producer_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            chain_graph.add_operator(linear("fc4", "x", "h1"))
+
+    def test_operator_lookup(self, chain_graph):
+        assert chain_graph.operator("fc2").name == "fc2"
+        with pytest.raises(GraphError):
+            chain_graph.operator("nope")
+
+
+class TestQueries:
+    def test_producer_of(self, chain_graph):
+        assert chain_graph.producer_of("h1").name == "fc1"
+        assert chain_graph.producer_of("x") is None
+
+    def test_consumers_of(self, chain_graph):
+        consumers = chain_graph.consumers_of("h1")
+        assert [op.name for op in consumers] == ["fc2"]
+
+    def test_predecessors_successors(self, chain_graph):
+        fc2 = chain_graph.operator("fc2")
+        assert [op.name for op in chain_graph.predecessors(fc2)] == ["fc1"]
+        assert [op.name for op in chain_graph.successors(fc2)] == ["fc3"]
+
+    def test_topological_order_is_deterministic(self, chain_graph):
+        order = [op.name for op in chain_graph.topological_order()]
+        assert order == ["fc1", "fc2", "fc3"]
+
+    def test_topological_order_respects_dependencies(self, tiny_transformer_graph):
+        order = [op.name for op in tiny_transformer_graph.topological_order()]
+        position = {name: i for i, name in enumerate(order)}
+        for producer, consumer in tiny_transformer_graph.dependency_pairs():
+            assert position[producer] < position[consumer]
+
+    def test_cim_operators_subset(self, tiny_cnn_graph):
+        cim = tiny_cnn_graph.cim_operators()
+        assert all(op.is_cim_mappable for op in cim)
+        assert len(cim) < len(tiny_cnn_graph)
+
+    def test_dependency_pairs(self, chain_graph):
+        assert chain_graph.dependency_pairs() == {("fc1", "fc2"), ("fc2", "fc3")}
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, chain_graph):
+        chain_graph.validate()
+
+    def test_unknown_input_rejected(self):
+        graph = Graph("bad")
+        graph.add_operator(linear("fc", "missing", "y"))
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_builder_validates_on_finish(self):
+        builder = GraphBuilder("ok")
+        x = builder.input("x", (4, 8))
+        builder.linear(x, 8)
+        builder.finish()  # should not raise
+
+
+class TestStats:
+    def test_stats_totals(self, chain_graph):
+        stats = chain_graph.stats()
+        assert stats.num_operators == 3
+        assert stats.num_cim_operators == 3
+        assert stats.total_macs == 3 * 4 * 8 * 8
+        assert stats.total_weight_elements == 3 * 64
+
+    def test_mean_arithmetic_intensity_positive(self, tiny_cnn_graph):
+        assert tiny_cnn_graph.stats().mean_arithmetic_intensity > 0
+
+    def test_view_ops_excluded_from_activation_totals(self, tiny_transformer_graph):
+        stats = tiny_transformer_graph.stats()
+        direct = sum(
+            op.output_elements for op in tiny_transformer_graph.operators if not op.is_view
+        )
+        assert stats.total_activation_elements == direct
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tiny_cnn_graph):
+        restored = graph_from_json(graph_to_json(tiny_cnn_graph))
+        assert len(restored) == len(tiny_cnn_graph)
+        assert restored.name == tiny_cnn_graph.name
+        assert restored.stats().total_macs == tiny_cnn_graph.stats().total_macs
+        assert [op.name for op in restored.topological_order()] == [
+            op.name for op in tiny_cnn_graph.topological_order()
+        ]
+
+    def test_metadata_roundtrip(self, tiny_transformer_graph):
+        restored = graph_from_json(graph_to_json(tiny_transformer_graph))
+        assert restored.metadata == tiny_transformer_graph.metadata
+
+    def test_file_roundtrip(self, tmp_path, tiny_mlp_graph):
+        path = save_graph(tiny_mlp_graph, tmp_path / "g.json")
+        restored = load_graph(path)
+        assert len(restored) == len(tiny_mlp_graph)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("{not json")
+
+    def test_wrong_document_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json('{"format": "other", "version": 1}')
+
+    def test_wrong_version_rejected(self, tiny_mlp_graph):
+        text = graph_to_json(tiny_mlp_graph).replace('"version": 1', '"version": 99')
+        with pytest.raises(SerializationError):
+            graph_from_json(text)

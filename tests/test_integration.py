@@ -1,0 +1,144 @@
+"""Integration tests across the whole stack (paper-shape assertions).
+
+These tests exercise the real benchmark networks on the real DynaPlasia
+configuration and assert the qualitative results of the paper's
+evaluation: CMSwitch never loses to CIM-MLC, gains are largest for the
+large decoder-only models, the memory-array ratio is non-trivial for LLMs
+and small for compute-bound CNNs, and the dual-mode switch overhead is a
+small fraction of execution time.
+"""
+
+import pytest
+
+from repro.baselines import CIMMLCCompiler, OCCCompiler, PUMACompiler
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.ir import graph_from_json, graph_to_json
+from repro.models import Phase, Workload, build_model
+from repro.sim import FunctionalSimulator
+
+
+@pytest.fixture(scope="module")
+def chip(dynaplasia_chip):
+    return dynaplasia_chip
+
+
+@pytest.fixture(scope="module")
+def llama_programs(chip):
+    graph = build_model("llama2-7b", Workload(batch_size=4, seq_len=64, phase=Phase.ENCODE))
+    options = CompilerOptions(generate_code=False)
+    return {
+        "cmswitch": CMSwitchCompiler(chip, options).compile(graph),
+        "cim-mlc": CIMMLCCompiler(chip).compile(graph),
+        "puma": PUMACompiler(chip).compile(graph),
+        "occ": OCCCompiler(chip).compile(graph),
+    }
+
+
+@pytest.fixture(scope="module")
+def resnet_programs(chip, resnet18_graph):
+    options = CompilerOptions(generate_code=False)
+    return {
+        "cmswitch": CMSwitchCompiler(chip, options).compile(resnet18_graph),
+        "cim-mlc": CIMMLCCompiler(chip).compile(resnet18_graph),
+    }
+
+
+class TestPaperShapeLLM:
+    def test_cmswitch_beats_cim_mlc_on_llama(self, llama_programs):
+        speedup = (
+            llama_programs["cim-mlc"].end_to_end_cycles
+            / llama_programs["cmswitch"].end_to_end_cycles
+        )
+        assert speedup >= 1.05
+
+    def test_cmswitch_beats_every_baseline(self, llama_programs):
+        cms = llama_programs["cmswitch"].end_to_end_cycles
+        for name in ("cim-mlc", "puma", "occ"):
+            assert llama_programs[name].end_to_end_cycles >= cms * 0.999
+
+    def test_llm_uses_memory_mode_arrays(self, llama_programs):
+        assert llama_programs["cmswitch"].mean_memory_array_ratio > 0.03
+
+    def test_fixed_mode_baseline_uses_none(self, llama_programs):
+        assert llama_programs["cim-mlc"].mean_memory_array_ratio == 0.0
+
+    def test_llama_needs_many_segments(self, llama_programs):
+        # A 7B-parameter block cannot fit on a 9.8 MB chip at once.
+        assert llama_programs["cmswitch"].num_segments >= 5
+
+    def test_switch_overhead_is_small(self, llama_programs):
+        assert llama_programs["cmswitch"].switch_overhead_fraction < 0.05
+
+
+class TestPaperShapeCNN:
+    def test_cmswitch_not_slower_on_resnet(self, resnet_programs):
+        speedup = (
+            resnet_programs["cim-mlc"].end_to_end_cycles
+            / resnet_programs["cmswitch"].end_to_end_cycles
+        )
+        assert speedup >= 0.999
+
+    def test_cnn_gain_smaller_than_llm_gain(self, resnet_programs, llama_programs):
+        cnn_gain = (
+            resnet_programs["cim-mlc"].end_to_end_cycles
+            / resnet_programs["cmswitch"].end_to_end_cycles
+        )
+        llm_gain = (
+            llama_programs["cim-mlc"].end_to_end_cycles
+            / llama_programs["cmswitch"].end_to_end_cycles
+        )
+        assert llm_gain >= cnn_gain - 0.10
+
+    def test_resnet_latency_in_sane_range(self, resnet_programs, chip):
+        # A 1.8 GMAC CNN on a ~120 TOPS-equivalent chip: sub-10 ms.
+        assert resnet_programs["cmswitch"].end_to_end_ms < 10.0
+
+
+class TestRoundTripAndVerification:
+    def test_graph_serialisation_preserves_compilation(self, small_chip, tiny_transformer_graph):
+        restored = graph_from_json(graph_to_json(tiny_transformer_graph))
+        original = CMSwitchCompiler(small_chip, CompilerOptions(generate_code=False)).compile(
+            tiny_transformer_graph
+        )
+        reloaded = CMSwitchCompiler(small_chip, CompilerOptions(generate_code=False)).compile(
+            restored
+        )
+        assert reloaded.graph_cycles == pytest.approx(original.graph_cycles)
+        assert reloaded.num_segments == original.num_segments
+
+    def test_functional_verification_of_compiled_cnn(self, small_chip, tiny_cnn_graph):
+        program = CMSwitchCompiler(small_chip, CompilerOptions(generate_code=True)).compile(
+            tiny_cnn_graph
+        )
+        report = FunctionalSimulator(small_chip).run(program, tiny_cnn_graph)
+        assert report.all_matched
+
+    def test_same_graph_compiles_deterministically(self, small_chip, tiny_transformer_graph):
+        options = CompilerOptions(generate_code=False)
+        first = CMSwitchCompiler(small_chip, options).compile(tiny_transformer_graph)
+        second = CMSwitchCompiler(small_chip, options).compile(tiny_transformer_graph)
+        assert first.graph_cycles == pytest.approx(second.graph_cycles)
+        assert [s.operator_names for s in first.segments] == [
+            s.operator_names for s in second.segments
+        ]
+
+
+class TestScalingTrends:
+    def test_bigger_chip_is_never_slower(self, tiny_transformer_graph, small_chip):
+        small = CMSwitchCompiler(small_chip, CompilerOptions(generate_code=False)).compile(
+            tiny_transformer_graph
+        )
+        big_chip = small_chip.with_overrides(num_arrays=small_chip.num_arrays * 4)
+        big = CMSwitchCompiler(big_chip, CompilerOptions(generate_code=False)).compile(
+            tiny_transformer_graph
+        )
+        assert big.graph_cycles <= small.graph_cycles * 1.001
+
+    def test_batch_size_scales_latency_superlinearly_or_linearly(self, chip):
+        one = build_model("bert", Workload(batch_size=1, seq_len=64, phase=Phase.ENCODE))
+        four = build_model("bert", Workload(batch_size=4, seq_len=64, phase=Phase.ENCODE))
+        options = CompilerOptions(generate_code=False)
+        lat_one = CMSwitchCompiler(chip, options).compile(one).end_to_end_cycles
+        lat_four = CMSwitchCompiler(chip, options).compile(four).end_to_end_cycles
+        assert lat_four > lat_one
+        assert lat_four <= 8 * lat_one

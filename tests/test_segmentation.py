@@ -1,0 +1,133 @@
+"""Tests for graph flattening and the DP network segmentation."""
+
+import pytest
+
+from repro.core.segmentation import (
+    NetworkSegmenter,
+    SegmentationOptions,
+    flatten_graph,
+    live_elements_at_boundary,
+)
+from repro.hardware import small_test_chip
+from repro.models import Phase, Workload, build_model
+
+
+class TestFlatten:
+    def test_small_graph_one_unit_per_operator(self, small_chip, tiny_cnn_graph):
+        units = flatten_graph(tiny_cnn_graph, small_chip)
+        cim_ops = tiny_cnn_graph.cim_operators()
+        assert len(units) == len(cim_ops)
+        assert [u.parent for u in units] == [op.name for op in cim_ops]
+
+    def test_oversized_operators_are_partitioned(self, small_chip, tiny_transformer_graph):
+        units = flatten_graph(tiny_transformer_graph, small_chip)
+        cim_ops = tiny_transformer_graph.cim_operators()
+        # FFN projections (128x256) exceed a 64x64-array budget of 8 arrays?
+        # They fit on the whole chip here, so check the general invariant:
+        assert len(units) >= len(cim_ops)
+        for unit in units:
+            assert unit.profile.min_compute_arrays(small_chip) <= small_chip.num_arrays
+
+    def test_huge_operator_is_split(self, small_chip):
+        graph = build_model("tiny-mlp", Workload(batch_size=1))
+        tiny_chip = small_chip.with_overrides(num_arrays=2)
+        units = flatten_graph(graph, tiny_chip)
+        assert len(units) > len(graph.cim_operators())
+        for unit in units:
+            assert unit.profile.min_compute_arrays(tiny_chip) <= tiny_chip.num_arrays
+
+    def test_units_are_indexed_in_order(self, small_chip, tiny_transformer_graph):
+        units = flatten_graph(tiny_transformer_graph, small_chip)
+        assert [u.index for u in units] == list(range(len(units)))
+
+    def test_live_until_is_forward(self, small_chip, tiny_transformer_graph):
+        units = flatten_graph(tiny_transformer_graph, small_chip)
+        for unit in units:
+            assert unit.live_until >= unit.index
+
+    def test_live_elements_at_boundary_counts_crossing_data(self, small_chip, tiny_cnn_graph):
+        units = flatten_graph(tiny_cnn_graph, small_chip)
+        # After the first convolution its output is still needed downstream.
+        live = live_elements_at_boundary(units, 0)
+        assert live >= units[0].profile.output_elements
+
+    def test_live_elements_monotone_bounds(self, small_chip, tiny_transformer_graph):
+        units = flatten_graph(tiny_transformer_graph, small_chip)
+        for boundary in range(len(units) - 1):
+            live = live_elements_at_boundary(units, boundary)
+            assert live >= 0
+
+
+class TestSegmentationDP:
+    def segment(self, graph, hardware, **options):
+        segmenter = NetworkSegmenter(hardware, SegmentationOptions(**options))
+        return segmenter.segment(graph)
+
+    def test_segments_partition_all_units(self, small_chip, tiny_transformer_graph):
+        result = self.segment(tiny_transformer_graph, small_chip)
+        names = [name for seg in result.segments for name in seg.operator_names]
+        assert names == [unit.name for unit in result.units]
+
+    def test_segments_are_contiguous_and_ordered(self, small_chip, tiny_cnn_graph):
+        result = self.segment(tiny_cnn_graph, small_chip)
+        indices = [segment.index for segment in result.segments]
+        assert indices == list(range(len(result.segments)))
+
+    def test_every_segment_fits_chip(self, small_chip, tiny_transformer_graph):
+        result = self.segment(tiny_transformer_graph, small_chip)
+        for segment in result.segments:
+            used = sum(a.total_arrays for a in segment.allocations.values())
+            assert used <= small_chip.num_arrays
+
+    def test_window_limits_segment_size(self, small_chip, tiny_cnn_graph):
+        result = self.segment(tiny_cnn_graph, small_chip, max_segment_operators=1)
+        assert all(len(segment.operator_names) == 1 for segment in result.segments)
+
+    def test_larger_window_never_hurts(self, small_chip, tiny_cnn_graph):
+        narrow = self.segment(tiny_cnn_graph, small_chip, max_segment_operators=1)
+        wide = self.segment(tiny_cnn_graph, small_chip, max_segment_operators=8)
+        assert wide.total_cycles <= narrow.total_cycles * 1.01
+
+    def test_memory_mode_disabled_uses_no_memory_arrays(self, small_chip, tiny_transformer_graph):
+        result = self.segment(tiny_transformer_graph, small_chip, allow_memory_mode=False)
+        for segment in result.segments:
+            assert segment.memory_arrays == 0
+            assert segment.boundary_memory_arrays == 0
+
+    def test_memory_mode_enabled_never_slower(self, small_chip, tiny_transformer_graph):
+        dual = self.segment(tiny_transformer_graph, small_chip, allow_memory_mode=True)
+        fixed = self.segment(tiny_transformer_graph, small_chip, allow_memory_mode=False)
+        assert dual.total_cycles <= fixed.total_cycles * 1.10
+
+    def test_switch_cost_flag_zeroes_breakdown(self, small_chip, tiny_transformer_graph):
+        result = self.segment(tiny_transformer_graph, small_chip, include_switch_cost=False)
+        for segment in result.segments:
+            assert segment.inter_breakdown.get("mode_switch", 0.0) == 0.0
+
+    def test_greedy_allocator_option(self, small_chip, tiny_cnn_graph):
+        result = self.segment(tiny_cnn_graph, small_chip, use_milp=False)
+        assert result.segments
+        assert result.total_cycles > 0
+
+    def test_first_segment_has_no_writeback(self, small_chip, tiny_cnn_graph):
+        result = self.segment(tiny_cnn_graph, small_chip)
+        first = result.segments[0]
+        assert first.inter_breakdown.get("writeback", 0.0) == 0.0
+        assert first.inter_breakdown.get("mode_switch", 0.0) == 0.0
+
+    def test_allocation_calls_are_memoised(self, small_chip, tiny_cnn_graph):
+        segmenter = NetworkSegmenter(small_chip, SegmentationOptions())
+        result = segmenter.segment(tiny_cnn_graph)
+        m = len(result.units)
+        window = SegmentationOptions().max_segment_operators
+        assert result.allocation_calls <= m * window
+
+    def test_decode_graph_segments(self, small_chip, tiny_transformer_decode_graph):
+        result = self.segment(tiny_transformer_decode_graph, small_chip)
+        assert result.segments
+        names = [name for seg in result.segments for name in seg.operator_names]
+        assert len(names) == len(result.units)
+
+    def test_dp_seconds_recorded(self, small_chip, tiny_mlp_graph):
+        result = self.segment(tiny_mlp_graph, small_chip)
+        assert result.dp_seconds >= 0.0
