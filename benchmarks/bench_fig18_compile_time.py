@@ -4,6 +4,15 @@ CMSwitch explores the additional dual-mode dimension (and runs the
 fixed-mode fallback pass), so its compilation time is a small multiple of
 CIM-MLC's — the paper reports 2.8x-6.3x, with CNNs costing more than
 transformers because a transformer block is compiled once and reused.
+
+Besides the pytest-benchmark entry point, the module doubles as a CI
+smoke script::
+
+    PYTHONPATH=src python benchmarks/bench_fig18_compile_time.py --quick
+
+which compiles a small model set twice against a shared allocation cache
+and prints the warm-pass hit rate and speedup, making compile-time (and
+cache) regressions visible straight from CI logs.
 """
 
 import pytest
@@ -32,3 +41,35 @@ def test_fig18_compilation_overhead(benchmark, chip, grids):
     # the CNNs with their dozens of distinct convolution shapes.
     by_model = {row["model"]: row["cmswitch_seconds"] for row in rows}
     assert by_model["llama2-7b"] <= by_model["resnet18"] * 2.0
+
+
+def _quick_smoke() -> int:
+    """CI smoke: cold/warm compile with a shared cache; print hit rate."""
+    from repro.experiments.compile_time import cached_compile_speedup
+
+    stats = cached_compile_speedup()
+    print(
+        "compile-time smoke (shared allocation cache):\n"
+        f"  cold pass : {stats['cold_seconds']:.3f} s "
+        f"({stats['allocator_solves_cold']} allocator solves)\n"
+        f"  warm pass : {stats['warm_seconds']:.3f} s "
+        f"({stats['allocator_solves_warm']} allocator solves)\n"
+        f"  cache hit rate (warm): {100.0 * stats['warm_hit_rate']:.1f}%\n"
+        f"  speedup   : {stats['speedup']:.1f}x"
+    )
+    # The warm pass must reuse the cold pass's solves; anything less than a
+    # near-total hit rate signals a cache-key regression.
+    if stats["warm_hit_rate"] < 0.95 or stats["allocator_solves_warm"] > stats[
+        "allocator_solves_cold"
+    ]:
+        print("FAIL: warm pass did not reuse cached allocations")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv:
+        sys.exit(_quick_smoke())
+    print(render_report(measure_compile_time()))

@@ -16,9 +16,9 @@ compute/memory split and the achievable latency move.  This example
 Run with ``python examples/design_space_exploration.py``.
 """
 
-from repro.analysis import mode_ratio_sweep
+from repro.analysis import compiled_array_sweep, mode_ratio_sweep
 from repro.baselines import CIMMLCCompiler
-from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.core import AllocationCache, CMSwitchCompiler, CompilerOptions
 from repro.experiments import prime_scalability
 from repro.hardware import dynaplasia, prime
 from repro.models import Phase, Workload, build_model
@@ -45,17 +45,24 @@ def prime_comparison() -> None:
 
 
 def array_count_sweep() -> None:
-    """How latency scales with the number of dual-mode arrays."""
+    """How latency scales with the number of dual-mode arrays.
+
+    The whole sweep shares one allocation cache, so every design point's
+    fixed-mode fallback pass reuses the dual-mode MILP solves and a
+    re-run of the sweep (the typical DSE iteration loop) is nearly free.
+    """
     graph = build_model("resnet18", Workload(batch_size=1))
+    cache = AllocationCache()
     print("ResNet-18 latency vs. number of dual-mode arrays (DynaPlasia-like):")
-    for num_arrays in (32, 64, 96, 128, 192):
-        hardware = dynaplasia(num_arrays=num_arrays)
-        options = CompilerOptions(generate_code=False)
-        cms = CMSwitchCompiler(hardware, options).compile(graph)
+    rows = compiled_array_sweep(graph, dynaplasia(), (32, 64, 96, 128, 192), cache=cache)
+    for row in rows:
+        hardware = dynaplasia(num_arrays=row["num_arrays"])
         mlc = CIMMLCCompiler(hardware).compile(graph)
-        print(f"  {num_arrays:4d} arrays: CMSwitch {cms.end_to_end_ms:7.3f} ms, "
+        print(f"  {row['num_arrays']:4d} arrays: CMSwitch {row['ms']:7.3f} ms, "
               f"CIM-MLC {mlc.end_to_end_ms:7.3f} ms "
-              f"({mlc.end_to_end_cycles / cms.end_to_end_cycles:.2f}x)")
+              f"({mlc.end_to_end_cycles / row['cycles']:.2f}x, "
+              f"cache hit rate {100 * row['cache_hit_rate']:.0f}%)")
+    print(f"  allocation cache: {cache.stats.hits} hits / {cache.stats.lookups} lookups")
     print()
 
 

@@ -31,23 +31,31 @@ Sub-packages:
 * :mod:`repro.analysis`, :mod:`repro.experiments` -- paper figure/table harness
 """
 
-from .core.compiler import CMSwitchCompiler, CompilerOptions, compile_model
+from .core.cache import AllocationCache
+from .core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError, compile_model
 from .core.program import CompiledProgram, SegmentPlan
 from .hardware import DualModeHardwareAbstraction, dynaplasia, get_preset, prime, small_test_chip
 from .models import Phase, Workload, build_model, list_models
+from .service import CompileJob, CompileJobResult, CompileService, compile_batch
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AllocationCache",
     "CMSwitchCompiler",
+    "CompileJob",
+    "CompileJobResult",
+    "CompileService",
     "CompiledProgram",
     "CompilerOptions",
     "DualModeHardwareAbstraction",
+    "NoFeasiblePlanError",
     "Phase",
     "SegmentPlan",
     "Workload",
     "__version__",
     "build_model",
+    "compile_batch",
     "compile_model",
     "dynaplasia",
     "get_preset",

@@ -9,11 +9,17 @@ from .intensity import (
     stage_of,
     transformer_stage_intensity,
 )
-from .sweep import ModeRatioSweep, mode_allocation_heatmap, mode_ratio_sweep
+from .sweep import (
+    ModeRatioSweep,
+    compiled_array_sweep,
+    mode_allocation_heatmap,
+    mode_ratio_sweep,
+)
 
 __all__ = [
     "LayerIntensity",
     "ModeRatioSweep",
+    "compiled_array_sweep",
     "intensity_vs_sequence_length",
     "layerwise_intensity",
     "mode_allocation_heatmap",

@@ -7,15 +7,22 @@ a model when the chip is statically split into ``r x N`` compute arrays
 and ``(1 - r) x N`` memory arrays, and reports performance normalised to
 the best split — the quantity plotted in Fig. 1(b); the 2-D variant over
 (compute, memory) counts produces the Fig. 5(a)(b) heatmaps.
+
+:func:`compiled_array_sweep` complements the analytical sweeps with a
+full-compiler design-space exploration: the same graph is compiled for a
+family of hardware variants with one shared allocation cache, so repeated
+structural sub-problems are solved once across the whole sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cache import AllocationCache
+from ..core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError
 from ..cost.arithmetic import OperatorProfile, profile_graph
 from ..cost.latency import OperatorAllocation, operator_latency_cycles  # noqa: F401  (re-exported for users)
 from ..hardware.deha import DualModeHardwareAbstraction
@@ -139,3 +146,59 @@ def mode_allocation_heatmap(
     best = np.nanmin(latency[np.isfinite(latency)]) if np.isfinite(latency).any() else 1.0
     heatmap = np.where(np.isfinite(latency), best / latency, 0.0)
     return compute_counts, memory_counts, heatmap
+
+
+def compiled_array_sweep(
+    graph: Graph,
+    base_hardware: DualModeHardwareAbstraction,
+    array_counts: Sequence[int],
+    cache: Optional[AllocationCache] = None,
+    options: Optional[CompilerOptions] = None,
+) -> List[Dict]:
+    """Compile ``graph`` for a family of array counts (DSE with a cache).
+
+    Unlike the analytical sweeps above, every design point runs the full
+    CMSwitch pipeline (DP segmentation + MILP allocation + fixed-mode
+    fallback).  All points share one :class:`AllocationCache`: each
+    point's fixed-mode pass reuses its dual-mode solves, and re-running
+    the sweep — the common DSE loop — hits the cache outright.
+
+    Returns:
+        One row per array count with ``num_arrays``, ``feasible``,
+        ``cycles``, ``ms``, ``num_segments``, ``allocator_solves`` and
+        ``cache_hit_rate``.  A design point too small for the workload
+        (the boundary a DSE sweep exists to find) is reported as an
+        infeasible row (``cycles == inf``) rather than aborting the sweep.
+    """
+    cache = cache if cache is not None else AllocationCache()
+    options = options or CompilerOptions(generate_code=False)
+    rows: List[Dict] = []
+    for num_arrays in array_counts:
+        hardware = base_hardware.with_overrides(num_arrays=int(num_arrays))
+        try:
+            program = CMSwitchCompiler(hardware, options, cache=cache).compile(graph)
+        except (NoFeasiblePlanError, RuntimeError):
+            rows.append(
+                {
+                    "num_arrays": int(num_arrays),
+                    "feasible": False,
+                    "cycles": float("inf"),
+                    "ms": float("inf"),
+                    "num_segments": 0,
+                    "allocator_solves": 0,
+                    "cache_hit_rate": 0.0,
+                }
+            )
+            continue
+        rows.append(
+            {
+                "num_arrays": int(num_arrays),
+                "feasible": True,
+                "cycles": program.end_to_end_cycles,
+                "ms": program.end_to_end_ms,
+                "num_segments": program.num_segments,
+                "allocator_solves": program.stats.get("allocator_solves", 0),
+                "cache_hit_rate": program.stats.get("allocation_cache_hit_rate", 0.0),
+            }
+        )
+    return rows

@@ -7,12 +7,16 @@ Installed as ``python -m repro.cli`` (or used programmatically through
 * ``hardware`` — show a hardware preset's DEHA parameters.
 * ``compile`` — compile one model for one hardware preset and print the
   plan summary (optionally the meta-operator flow and per-segment table).
+* ``compile-batch`` — compile many models through the
+  :class:`repro.service.CompileService` (shared allocation cache, thread
+  pool) and print per-job statistics including the cache hit rate.
 * ``compare`` — compile with CMSwitch and the baselines and print speedups.
 * ``experiment`` — run one of the paper-figure experiments.
 
 Examples::
 
     python -m repro.cli compile llama2-7b --hardware dynaplasia --batch 1 --seq-len 128
+    python -m repro.cli compile-batch resnet18 bert vgg16 --jobs 4 --repeat 2
     python -m repro.cli compare resnet18 --batch 8
     python -m repro.cli experiment fig14 --batch-sizes 1 8
 """
@@ -30,10 +34,10 @@ from .models.registry import build_model, is_transformer, list_models
 from .models.workload import Phase, Workload
 
 
-def _workload_from_args(args: argparse.Namespace) -> Workload:
-    """Build a workload from the shared CLI arguments."""
+def _workload_for_model(model: str, args: argparse.Namespace) -> Workload:
+    """Build a workload for ``model`` from the shared CLI arguments."""
     phase = Phase(args.phase) if args.phase else (
-        Phase.ENCODE if is_transformer(args.model) else Phase.PREFILL
+        Phase.ENCODE if is_transformer(model) else Phase.PREFILL
     )
     return Workload(
         batch_size=args.batch,
@@ -41,6 +45,11 @@ def _workload_from_args(args: argparse.Namespace) -> Workload:
         output_len=args.output_len,
         phase=phase,
     )
+
+
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    """Build a workload from the shared CLI arguments (single-model commands)."""
+    return _workload_for_model(args.model, args)
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +94,48 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print()
         print(program.meta_program.render())
     return 0
+
+
+def cmd_compile_batch(args: argparse.Namespace) -> int:
+    """Compile several models through the batch service and print stats."""
+    from .service import CompileJob, CompileService
+
+    hardware = get_preset(args.hardware)
+    jobs = []
+    for round_index in range(max(1, args.repeat)):
+        for model in args.models:
+            workload = _workload_for_model(model, args)
+            label = model if args.repeat <= 1 else f"{model}#{round_index + 1}"
+            jobs.append(CompileJob(model, workload=workload, hardware=hardware, label=label))
+
+    service = CompileService(max_workers=args.jobs, use_cache=not args.no_cache)
+    results = service.compile_batch(jobs)
+
+    header = (
+        f"{'job':16s} {'latency (ms)':>13s} {'segments':>9s} {'solves':>7s} "
+        f"{'cache hits':>11s} {'hit rate':>9s} {'wall (s)':>9s}"
+    )
+    print(header)
+    failures = 0
+    for result in results:
+        if not result.ok:
+            failures += 1
+            print(f"{result.job.name:16s} FAILED: {result.error}")
+            continue
+        stats = result.stats
+        print(
+            f"{result.job.name:16s} {result.program.end_to_end_ms:13.3f} "
+            f"{result.program.num_segments:9d} {stats.get('allocator_solves', 0):7d} "
+            f"{stats.get('allocation_cache_hits', 0):11d} "
+            f"{100.0 * stats.get('allocation_cache_hit_rate', 0.0):8.1f}% "
+            f"{result.wall_seconds:9.3f}"
+        )
+    aggregate = service.cache_stats
+    print(
+        f"cache: {aggregate.hits} hits / {aggregate.lookups} lookups "
+        f"({100.0 * aggregate.hit_rate:.1f}%), {aggregate.evictions} evictions"
+    )
+    return 1 if failures else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -170,6 +221,33 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--show-segments", action="store_true", help="print segment plans")
     compile_cmd.add_argument("--show-metaops", action="store_true", help="print the DMO flow")
     compile_cmd.set_defaults(func=cmd_compile)
+
+    batch = sub.add_parser(
+        "compile-batch",
+        help="compile many models concurrently with a shared allocation cache",
+    )
+    batch.add_argument("models", nargs="+", help="registered model names")
+    batch.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
+    batch.add_argument("--batch", type=int, default=1, help="batch size")
+    batch.add_argument("--seq-len", type=int, default=64, help="input sequence length")
+    batch.add_argument("--output-len", type=int, default=64, help="generated tokens")
+    batch.add_argument(
+        "--phase",
+        choices=[phase.value for phase in Phase],
+        default=None,
+        help="transformer phase (default: encode for transformers)",
+    )
+    batch.add_argument("--jobs", type=int, default=None, help="thread-pool width")
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="compile the model list this many times (shows warm-cache speedups)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the shared allocation cache"
+    )
+    batch.set_defaults(func=cmd_compile_batch)
 
     compare = sub.add_parser("compare", help="compare CMSwitch against the baselines")
     _add_workload_arguments(compare)

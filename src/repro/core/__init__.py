@@ -11,8 +11,15 @@ from .allocation import (
     refine_with_spare_arrays,
     segment_fits,
 )
+from .cache import AllocationCache, AllocationCacheKey, CacheStats
 from .codegen import CodeGenerationError, generate_program
-from .compiler import CMSwitchCompiler, CompilerOptions, compile_model
+from .compiler import (
+    CMSwitchCompiler,
+    CompilerOptions,
+    NoFeasiblePlanError,
+    choose_plan,
+    compile_model,
+)
 from .metaop import (
     ComputeOp,
     MemoryReadOp,
@@ -35,9 +42,12 @@ from .segmentation import (
 )
 
 __all__ = [
+    "AllocationCache",
+    "AllocationCacheKey",
     "AllocationCandidate",
     "AllocationResult",
     "CMSwitchCompiler",
+    "CacheStats",
     "CodeGenerationError",
     "CompiledProgram",
     "CompilerOptions",
@@ -45,6 +55,7 @@ __all__ = [
     "FlattenedUnit",
     "GreedyAllocator",
     "MIPAllocator",
+    "NoFeasiblePlanError",
     "MemoryReadOp",
     "MemoryWriteOp",
     "MetaOperator",
@@ -59,6 +70,7 @@ __all__ = [
     "WeightLoadOp",
     "allocate_segment",
     "candidate_allocations",
+    "choose_plan",
     "compile_model",
     "flatten_graph",
     "generate_program",

@@ -51,12 +51,16 @@ class AllocationResult:
         feasible: Whether the segment fits the chip at all.
         solver: Which engine produced the result ("milp", "greedy",
             "single", "infeasible").
+        from_cache: Whether the result was served from a shared
+            :class:`~repro.core.cache.AllocationCache` instead of a fresh
+            solve (used by compile statistics).
     """
 
     allocations: Dict[str, OperatorAllocation]
     latency_cycles: float
     feasible: bool
     solver: str
+    from_cache: bool = False
 
     @property
     def total_arrays(self) -> int:
@@ -319,12 +323,19 @@ class MIPAllocator:
         t_index = num_binaries
         num_vars = num_binaries + 1
 
-        # Normalise latencies so the makespan variable is well-scaled.
-        scale = max(
-            max(c.latency_cycles for c in candidates[name] if math.isfinite(c.latency_cycles))
-            for name in names
-        )
-        scale = max(scale, 1.0)
+        # Normalise latencies so the makespan variable is well-scaled.  An
+        # operator whose every candidate is infeasible (infinite latency)
+        # cannot be modelled; bail out to the greedy fallback instead of
+        # tripping on max() over an empty sequence.
+        finite_maxima = []
+        for name in names:
+            finite = [
+                c.latency_cycles for c in candidates[name] if math.isfinite(c.latency_cycles)
+            ]
+            if not finite:
+                return None
+            finite_maxima.append(max(finite))
+        scale = max(max(finite_maxima), 1.0)
 
         objective = np.zeros(num_vars)
         objective[t_index] = 1.0
@@ -444,6 +455,7 @@ def allocate_segment(
     pipelined: bool = True,
     refine: bool = True,
     reserve_arrays: int = 0,
+    cache: Optional[object] = None,
 ) -> AllocationResult:
     """Allocate one segment end to end (solver + duplication refinement).
 
@@ -451,11 +463,31 @@ def allocate_segment(
         reserve_arrays: Arrays withheld from duplication so the
             segmentation pass can dedicate them to boundary buffering.
             Feasibility is always checked against the full chip.
+        cache: Optional shared :class:`~repro.core.cache.AllocationCache`.
+            When given, the solve is first looked up (structurally — the
+            result is identical to a cold solve) and fresh solves are
+            stored back; hits are flagged via ``result.from_cache``.
     """
     engine = allocator if allocator is not None else MIPAllocator()
     if not segment_fits(profiles, hardware):
         return infeasible_result()
     allow_memory_mode = getattr(engine, "allow_memory_mode", True)
+    cache_key = None
+    if cache is not None:
+        # Build the (hardware fingerprint x segment signature x options)
+        # key once and share it between lookup and store.
+        cache_key = cache.make_key(
+            profiles,
+            hardware,
+            engine=getattr(engine, "name", type(engine).__name__),
+            pipelined=pipelined,
+            refine=refine,
+            allow_memory_mode=allow_memory_mode,
+            reserve_arrays=reserve_arrays,
+        )
+        cached = cache.lookup(cache_key, list(profiles))
+        if cached is not None:
+            return cached
     result = engine.allocate(profiles, hardware, pipelined=pipelined)
     if refine and result.feasible:
         result = refine_with_spare_arrays(
@@ -466,4 +498,6 @@ def allocate_segment(
             allow_memory_mode=allow_memory_mode,
             reserve_arrays=reserve_arrays,
         )
+    if cache is not None:
+        cache.store(cache_key, profiles, result)
     return result

@@ -1,0 +1,339 @@
+"""Shared segment-allocation cache.
+
+The dominant cost of CMSwitch compilation (Fig. 18 of the paper) is the
+per-segment allocation solve: the DP segmentation asks the MILP (or the
+greedy engine) for every candidate window, and the fixed-mode fallback
+pass repeats the whole exercise.  :class:`AllocationCache` memoises those
+solves *across* segmentation runs, compilers and even compile requests:
+
+* the key is **structural** — the hardware fingerprint, the ordered cost
+  profiles of the segment's operators (names excluded) and the options
+  that influence the solve (engine, pipelining, refinement, memory mode,
+  boundary reserve).  Structurally identical segments — the same model
+  compiled twice, the repeated projection layers of a transformer block,
+  the fixed-mode pass re-solving a window the dual-mode pass already
+  solved — hit the same entry;
+* entries store allocations positionally, so a hit is re-labelled with
+  the requesting segment's operator names and returned as a fresh
+  :class:`~repro.core.allocation.AllocationResult` that is bit-identical
+  to what a cold solve would produce;
+* a fixed-mode (``allow_memory_mode=False``) lookup that misses may fall
+  back to the dual-mode entry for the same key when that entry uses no
+  memory-mode arrays: the dual-mode optimum then lies inside the
+  fixed-mode search space, so reusing it is exact (a *cross-mode hit*);
+* the cache is size-bounded (LRU eviction) and thread-safe, so one
+  instance can back a whole :class:`~repro.service.CompileService`.
+
+Usage::
+
+    cache = AllocationCache(max_entries=4096)
+    compiler = CMSwitchCompiler(hardware, cache=cache)
+    program = compiler.compile(graph)          # cold: solves and stores
+    program = compiler.compile(graph)          # warm: pure cache hits
+    print(cache.stats.hit_rate)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cost.arithmetic import OperatorProfile
+from ..cost.latency import OperatorAllocation
+from ..hardware.deha import DualModeHardwareAbstraction
+from .allocation import AllocationResult
+
+__all__ = [
+    "AllocationCache",
+    "AllocationCacheKey",
+    "CacheStats",
+    "profile_signature",
+    "segment_signature",
+]
+
+
+def profile_signature(profile: OperatorProfile) -> Tuple:
+    """Structural identity of one operator profile (the name excluded).
+
+    Two operators with the same signature receive identical allocations
+    from every engine, so the cache may share their solutions.
+    """
+    return (
+        profile.op_type,
+        profile.macs,
+        profile.input_elements,
+        profile.output_elements,
+        profile.weight_elements,
+        profile.stationary_elements,
+        profile.streamed_input_elements,
+        profile.extra_streamed_elements,
+        profile.has_static_weight,
+        profile.matmul_m,
+        profile.matmul_k,
+        profile.matmul_n,
+    )
+
+
+def segment_signature(profiles: Mapping[str, OperatorProfile]) -> Tuple[Tuple, ...]:
+    """Ordered structural identity of a whole segment."""
+    return tuple(profile_signature(profile) for profile in profiles.values())
+
+
+@dataclass(frozen=True)
+class AllocationCacheKey:
+    """Cache key of one segment-allocation solve.
+
+    Attributes:
+        hardware: :meth:`DualModeHardwareAbstraction.fingerprint` digest.
+        segment: Ordered structural signatures of the segment's operators.
+        engine: Allocation engine name (``"milp"`` / ``"greedy"``).
+        pipelined: Whether the segment latency model pipelines operators.
+        refine: Whether duplication refinement ran after the solve.
+        allow_memory_mode: Whether memory-mode arrays were permitted.
+        reserve_arrays: Arrays withheld from refinement for boundary
+            buffering.
+    """
+
+    hardware: str
+    segment: Tuple[Tuple, ...]
+    engine: str
+    pipelined: bool
+    refine: bool
+    allow_memory_mode: bool
+    reserve_arrays: int
+
+    @classmethod
+    def build(
+        cls,
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        *,
+        engine: str,
+        pipelined: bool,
+        refine: bool,
+        allow_memory_mode: bool,
+        reserve_arrays: int,
+    ) -> "AllocationCacheKey":
+        """Build the key for one ``allocate_segment`` invocation."""
+        return cls(
+            hardware=hardware.fingerprint(),
+            segment=segment_signature(profiles),
+            engine=engine,
+            pipelined=pipelined,
+            refine=refine,
+            allow_memory_mode=allow_memory_mode,
+            reserve_arrays=int(reserve_arrays),
+        )
+
+    def dual_mode_variant(self) -> "AllocationCacheKey":
+        """The same solve with memory mode enabled (cross-mode lookup)."""
+        return replace(self, allow_memory_mode=True)
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """Stored outcome of one solve, with allocations kept positionally."""
+
+    allocations: Tuple[Tuple[int, int], ...]
+    latency_cycles: float
+    feasible: bool
+    solver: str
+
+    @property
+    def memory_free(self) -> bool:
+        """Whether the entry uses no memory-mode arrays anywhere."""
+        return all(memory == 0 for _, memory in self.allocations)
+
+    def to_result(self, names: Sequence[str]) -> AllocationResult:
+        """Materialise an :class:`AllocationResult` for ``names``."""
+        allocations = {
+            name: OperatorAllocation(compute_arrays=compute, memory_arrays=memory)
+            for name, (compute, memory) in zip(names, self.allocations)
+        }
+        return AllocationResult(
+            allocations=allocations,
+            latency_cycles=self.latency_cycles,
+            feasible=self.feasible,
+            solver=self.solver,
+            from_cache=True,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`AllocationCache`.
+
+    Attributes:
+        hits: Lookups served from the cache (cross-mode hits included).
+        cross_mode_hits: Fixed-mode lookups served by a memory-free
+            dual-mode entry.
+        misses: Lookups that required a fresh solve.
+        stores: Entries written.
+        evictions: Entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    cross_mode_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """Independent copy of the counters."""
+        return CacheStats(
+            hits=self.hits,
+            cross_mode_hits=self.cross_mode_hits,
+            misses=self.misses,
+            stores=self.stores,
+            evictions=self.evictions,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dictionary rendering for reports and program stats."""
+        return {
+            "hits": self.hits,
+            "cross_mode_hits": self.cross_mode_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class AllocationCache:
+    """Keyed, size-bounded, thread-safe cache of segment-allocation solves.
+
+    Args:
+        max_entries: LRU capacity; the oldest entry is evicted when a new
+            store would exceed it.  Must be positive.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[AllocationCacheKey, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # key-level API (what allocate_segment talks to — the key is built
+    # once per solve and shared between lookup and store)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make_key(
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        **options,
+    ) -> AllocationCacheKey:
+        """Build the cache key for one solve (see
+        :meth:`AllocationCacheKey.build` for the options)."""
+        return AllocationCacheKey.build(profiles, hardware, **options)
+
+    def lookup(
+        self, key: AllocationCacheKey, names: Sequence[str]
+    ) -> Optional[AllocationResult]:
+        """Return a cached result for ``key``, or None on a miss.
+
+        A fixed-mode lookup that misses is retried against the dual-mode
+        entry of the same key; it is reused only when that entry allocates
+        no memory-mode arrays (then it lies inside the fixed-mode space
+        and is exact for it).  ``names`` labels the returned allocations.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            cross_mode = False
+            if entry is None and not key.allow_memory_mode:
+                dual_key = key.dual_mode_variant()
+                dual_entry = self._entries.get(dual_key)
+                if dual_entry is not None and dual_entry.memory_free:
+                    entry = dual_entry
+                    key = dual_key
+                    cross_mode = True
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if cross_mode:
+                self.stats.cross_mode_hits += 1
+            return entry.to_result(names)
+
+    def store(
+        self,
+        key: AllocationCacheKey,
+        profiles: Mapping[str, OperatorProfile],
+        result: AllocationResult,
+    ) -> None:
+        """Store the outcome of a fresh solve under ``key``."""
+        allocations = tuple(
+            (result.allocations[name].compute_arrays, result.allocations[name].memory_arrays)
+            for name in profiles
+            if name in result.allocations
+        )
+        if len(allocations) != len(profiles) and result.feasible:
+            return  # partial allocation (foreign result); never cache it
+        entry = _CacheEntry(
+            allocations=allocations if result.feasible else tuple(),
+            latency_cycles=result.latency_cycles,
+            feasible=result.feasible,
+            solver=result.solver,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # segment-level convenience wrappers
+    # ------------------------------------------------------------------ #
+    def lookup_segment(
+        self,
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        **options,
+    ) -> Optional[AllocationResult]:
+        """One-shot :meth:`make_key` + :meth:`lookup`."""
+        return self.lookup(self.make_key(profiles, hardware, **options), list(profiles))
+
+    def store_segment(
+        self,
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        result: AllocationResult,
+        **options,
+    ) -> None:
+        """One-shot :meth:`make_key` + :meth:`store`."""
+        self.store(self.make_key(profiles, hardware, **options), profiles, result)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters (entries are kept)."""
+        with self._lock:
+            self.stats = CacheStats()

@@ -16,15 +16,23 @@ timing and functional simulators (and the benchmark harness) consume.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
+from ..cost.latency import guard_infeasible
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.graph import Graph
-from .codegen import generate_program
+from .cache import AllocationCache
 from .program import CompiledProgram
-from .segmentation import NetworkSegmenter, SegmentationOptions
+from .codegen import generate_program
+from .segmentation import NetworkSegmenter, SegmentationOptions, SegmentationResult
+
+
+class NoFeasiblePlanError(RuntimeError):
+    """Raised when neither the dual-mode nor the fixed-mode pass finds a
+    feasible plan for a non-empty graph (both plans carry infinite cost)."""
 
 
 @dataclass
@@ -70,12 +78,58 @@ class CompilerOptions:
         )
 
 
+def plan_cost(result: SegmentationResult) -> float:
+    """Comparable cost of a segmentation plan (NaN collapsed to ``inf``)."""
+    return guard_infeasible(result.total_cycles)
+
+
+def plan_arrays(result: SegmentationResult) -> int:
+    """Total arrays (compute + memory + boundary) a plan occupies."""
+    return sum(
+        segment.compute_arrays + segment.memory_arrays for segment in result.segments
+    )
+
+
+def choose_plan(
+    dual: SegmentationResult, fixed: SegmentationResult
+) -> Tuple[SegmentationResult, bool]:
+    """Pick between the dual-mode plan and the fixed-mode fallback plan.
+
+    The comparison is robust to :data:`INFEASIBLE_LATENCY` and NaN costs:
+
+    * if both plans are infeasible the dual-mode plan is returned (the
+      caller raises :class:`NoFeasiblePlanError`) — never a silent
+      ``inf < inf`` keep;
+    * a strictly cheaper fixed-mode plan wins;
+    * on an exact finite tie the fixed-mode plan wins only when it
+      occupies fewer arrays (same latency for less hardware).
+
+    Returns:
+        ``(chosen_result, fallback_used)``.
+    """
+    dual_cost = plan_cost(dual)
+    fixed_cost = plan_cost(fixed)
+    if fixed_cost < dual_cost:
+        return fixed, True
+    if fixed_cost == dual_cost and math.isfinite(fixed_cost):
+        if plan_arrays(fixed) < plan_arrays(dual):
+            return fixed, True
+    return dual, False
+
+
 class CMSwitchCompiler:
     """Dual-mode-aware DNN compiler for CIM accelerators (the paper's tool).
 
     Args:
         hardware: Target dual-mode hardware abstraction (DEHA).
         options: Compilation options; defaults reproduce the paper's setup.
+        cache: Optional shared :class:`~repro.core.cache.AllocationCache`.
+            With a cache the fixed-mode fallback pass reuses the dual-mode
+            pass's MILP solutions (and vice versa, where valid), and
+            repeated compiles of the same network skip the solver
+            entirely.  Pass one cache to many compilers (or use
+            :class:`repro.service.CompileService`) to share it between
+            compile requests.
 
     Example:
         >>> from repro.hardware import dynaplasia
@@ -92,9 +146,11 @@ class CMSwitchCompiler:
         self,
         hardware: DualModeHardwareAbstraction,
         options: Optional[CompilerOptions] = None,
+        cache: Optional[AllocationCache] = None,
     ) -> None:
         self.hardware = hardware
         self.options = options or CompilerOptions()
+        self.cache = cache
 
     def compile(self, graph: Graph) -> CompiledProgram:
         """Compile a graph into a dual-mode execution plan.
@@ -106,23 +162,48 @@ class CMSwitchCompiler:
         Returns:
             The compiled program with segment plans, predicted latency and,
             when ``generate_code`` is enabled, the meta-operator flow.
+
+        Raises:
+            NoFeasiblePlanError: If no pass produces a feasible plan for a
+                non-empty graph.
         """
         start = time.perf_counter()
-        segmenter = NetworkSegmenter(self.hardware, self.options.to_segmentation_options())
+        segmenter = NetworkSegmenter(
+            self.hardware, self.options.to_segmentation_options(), cache=self.cache
+        )
         result = segmenter.segment(graph)
         fallback_used = False
+        allocation_calls = result.allocation_calls
+        cache_hits = result.cache_hits
         if self.options.allow_memory_mode and self.options.fixed_mode_fallback:
             fixed_options = self.options.to_segmentation_options()
             fixed_options.allow_memory_mode = False
-            fixed_result = NetworkSegmenter(self.hardware, fixed_options).segment(graph)
-            if fixed_result.total_cycles < result.total_cycles:
-                result = fixed_result
-                fallback_used = True
+            fixed_result = NetworkSegmenter(
+                self.hardware, fixed_options, cache=self.cache
+            ).segment(graph)
+            allocation_calls += fixed_result.allocation_calls
+            cache_hits += fixed_result.cache_hits
+            result, fallback_used = choose_plan(result, fixed_result)
+        final_cost = plan_cost(result)
+        if result.segments and not math.isfinite(final_cost):
+            raise NoFeasiblePlanError(
+                f"no feasible execution plan for graph {graph.name!r} on "
+                f"{self.hardware.name!r}: every evaluated plan has infinite cost"
+            )
         meta_program = None
         if self.options.generate_code and result.segments:
             meta_program = generate_program(graph.name, result.segments, self.hardware)
         elapsed = time.perf_counter() - start
         block_repeat = float(graph.metadata.get("block_repeat", 1.0))
+        solve_attempts = allocation_calls + cache_hits
+        stats = {
+            "allocator_solves": allocation_calls,
+            "allocation_cache_hits": cache_hits,
+            "allocation_cache_hit_rate": (
+                cache_hits / solve_attempts if solve_attempts else 0.0
+            ),
+            "wall_seconds": elapsed,
+        }
         program = CompiledProgram(
             graph_name=graph.name,
             compiler_name=self.name,
@@ -141,10 +222,11 @@ class CMSwitchCompiler:
                     "allow_memory_mode": self.options.allow_memory_mode,
                 },
                 "num_flattened_units": len(result.units),
-                "allocation_calls": result.allocation_calls,
+                "allocation_calls": allocation_calls,
                 "dp_seconds": result.dp_seconds,
                 "fixed_mode_fallback_used": fallback_used,
             },
+            stats=stats,
             meta_program=meta_program,
         )
         return program
@@ -154,6 +236,7 @@ def compile_model(
     graph: Graph,
     hardware: DualModeHardwareAbstraction,
     options: Optional[CompilerOptions] = None,
+    cache: Optional[AllocationCache] = None,
 ) -> CompiledProgram:
     """Convenience wrapper: compile ``graph`` with :class:`CMSwitchCompiler`."""
-    return CMSwitchCompiler(hardware, options).compile(graph)
+    return CMSwitchCompiler(hardware, options, cache=cache).compile(graph)

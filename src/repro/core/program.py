@@ -10,6 +10,7 @@ code generator additionally lowers the schedule to a meta-operator flow
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -96,6 +97,10 @@ class CompiledProgram:
             compiled per block and reused across layers).
         compile_seconds: Wall-clock compilation time.
         metadata: Free-form extra information (workload, options, ...).
+        stats: Compilation statistics — allocator solve count, shared
+            allocation-cache hits and hit rate, wall time.  Populated by
+            :class:`~repro.core.compiler.CMSwitchCompiler` and surfaced
+            per job by :class:`repro.service.CompileService`.
     """
 
     graph_name: str
@@ -105,6 +110,7 @@ class CompiledProgram:
     block_repeat: float = 1.0
     compile_seconds: float = 0.0
     metadata: Dict = field(default_factory=dict)
+    stats: Dict = field(default_factory=dict)
     #: Lowered meta-operator flow (set when code generation is enabled).
     meta_program: Optional[object] = None
 
@@ -161,7 +167,10 @@ class CompiledProgram:
         memory mode across all segments".
         """
         total_time = sum(s.intra_cycles for s in self.segments)
-        if total_time <= 0:
+        # Fall back to the unweighted mean when any segment reports a
+        # non-finite latency: `ratio * inf` (and 0 * inf in particular)
+        # would otherwise leak a NaN into the report.
+        if total_time <= 0 or not math.isfinite(total_time):
             segments = self.segments or []
             if not segments:
                 return 0.0

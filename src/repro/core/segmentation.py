@@ -202,12 +202,21 @@ def live_elements_at_boundary(units: Sequence[FlattenedUnit], boundary: int) -> 
 
 @dataclass
 class SegmentationResult:
-    """Output of the DP: segment plans plus bookkeeping for reports."""
+    """Output of the DP: segment plans plus bookkeeping for reports.
+
+    Attributes:
+        segments: Segment plans in execution order.
+        units: The flattened schedulable units.
+        dp_seconds: Wall-clock time of the DP (allocations included).
+        allocation_calls: Fresh allocator solves performed.
+        cache_hits: Solves served from the shared allocation cache.
+    """
 
     segments: List[SegmentPlan]
     units: List[FlattenedUnit]
     dp_seconds: float
     allocation_calls: int
+    cache_hits: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -222,12 +231,24 @@ class NetworkSegmenter:
         self,
         hardware: DualModeHardwareAbstraction,
         options: Optional[SegmentationOptions] = None,
+        cache: Optional[object] = None,
     ) -> None:
+        """Args:
+            hardware: Target hardware abstraction.
+            options: Segmentation knobs (paper defaults when omitted).
+            cache: Optional shared
+                :class:`~repro.core.cache.AllocationCache`.  The per-run
+                window memo below always applies; the shared cache
+                additionally reuses solves across runs (the fixed-mode
+                fallback pass, repeated compiles, other threads).
+        """
         self.hardware = hardware
         self.options = options or SegmentationOptions()
         self._allocator = self.options.build_allocator()
         self._allocation_cache: Dict[Tuple[int, int], AllocationResult] = {}
+        self._shared_cache = cache
         self.allocation_calls = 0
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------ #
     # allocation memoisation
@@ -251,8 +272,12 @@ class NetworkSegmenter:
                     pipelined=self.options.pipelined,
                     refine=self.options.refine,
                     reserve_arrays=self._boundary_reserve(units, end),
+                    cache=self._shared_cache,
                 )
-                self.allocation_calls += 1
+                if result.from_cache:
+                    self.cache_hits += 1
+                else:
+                    self.allocation_calls += 1
             self._allocation_cache[key] = result
         return self._allocation_cache[key]
 
@@ -280,7 +305,7 @@ class NetworkSegmenter:
         start_time = time.perf_counter()
         units = flatten_graph(graph, self.hardware)
         if not units:
-            return SegmentationResult([], [], 0.0, 0)
+            return SegmentationResult([], [], 0.0, 0, 0)
         m = len(units)
         window = max(1, self.options.max_segment_operators)
 
@@ -344,7 +369,9 @@ class NetworkSegmenter:
 
         segments = self._build_plans(units, boundaries)
         dp_seconds = time.perf_counter() - start_time
-        return SegmentationResult(segments, units, dp_seconds, self.allocation_calls)
+        return SegmentationResult(
+            segments, units, dp_seconds, self.allocation_calls, self.cache_hits
+        )
 
     # ------------------------------------------------------------------ #
     # plan construction
@@ -408,4 +435,6 @@ class NetworkSegmenter:
         boundaries = [(i, i) for i in range(len(units))]
         segments = self._build_plans(units, boundaries)
         dp_seconds = time.perf_counter() - start_time
-        return SegmentationResult(segments, list(units), dp_seconds, self.allocation_calls)
+        return SegmentationResult(
+            segments, list(units), dp_seconds, self.allocation_calls, self.cache_hits
+        )

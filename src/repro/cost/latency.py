@@ -35,6 +35,17 @@ from .arithmetic import OperatorProfile
 INFEASIBLE_LATENCY = float("inf")
 
 
+def guard_infeasible(cycles: float) -> float:
+    """Collapse NaN cycle counts to :data:`INFEASIBLE_LATENCY`.
+
+    Infeasibility must always propagate as ``inf`` so that comparisons in
+    the DP and the plan-selection logic stay well-ordered; a NaN (born of
+    ``inf * 0`` or ``inf - inf`` arithmetic anywhere in a cost pipeline)
+    would silently poison every ``min``/``max`` it reaches.
+    """
+    return INFEASIBLE_LATENCY if math.isnan(cycles) else cycles
+
+
 @dataclass(frozen=True)
 class OperatorAllocation:
     """Number of arrays, per mode, assigned to one operator.
@@ -111,8 +122,18 @@ def data_supply_times(
     onchip_elements = streamed - offchip_elements
     offchip_rate = hardware.d_extern * d_main_share
     onchip_rate = hardware.d_main * d_main_share + memory_arrays * hardware.d_cim
-    offchip_time = offchip_elements / offchip_rate if offchip_rate > 0 else INFEASIBLE_LATENCY
-    onchip_time = onchip_elements / onchip_rate if onchip_rate > 0 else INFEASIBLE_LATENCY
+    # A zero rate only matters when there is data to move: moving nothing
+    # takes no time even over a zero-bandwidth link (the rate==0, empty
+    # transfer combination must not manufacture an infinity that later
+    # turns into inf * 0 = NaN downstream).
+    if offchip_elements <= 0:
+        offchip_time = 0.0
+    else:
+        offchip_time = offchip_elements / offchip_rate if offchip_rate > 0 else INFEASIBLE_LATENCY
+    if onchip_elements <= 0:
+        onchip_time = 0.0
+    else:
+        onchip_time = onchip_elements / onchip_rate if onchip_rate > 0 else INFEASIBLE_LATENCY
     return offchip_time, onchip_time
 
 
@@ -127,6 +148,8 @@ def supply_rate(
     supply_time = max(offchip_time, onchip_time)
     if supply_time <= 0:
         return float("inf")
+    if math.isinf(supply_time):
+        return 0.0  # data can never be supplied; avoid finite/inf -> 0.0 masking a NaN path
     return profile.macs / supply_time if profile.macs else profile.streamed_elements / supply_time
 
 
@@ -147,12 +170,12 @@ def operator_latency_cycles(
     )
     supply_time = max(offchip_time, onchip_time)
     if profile.macs == 0:
-        return supply_time
+        return guard_infeasible(supply_time)
     c_rate = compute_rate(profile, allocation.compute_arrays, hardware)
     if c_rate <= 0:
         return INFEASIBLE_LATENCY
     compute_time = profile.macs / c_rate
-    return max(compute_time, supply_time)
+    return guard_infeasible(max(compute_time, supply_time))
 
 
 def operator_bound(
@@ -215,8 +238,8 @@ def segment_latency_cycles(
     if not latencies:
         return 0.0
     if pipelined:
-        return max(latencies) + pipeline_fill_cycles(profiles.values(), hardware)
-    return sum(latencies)
+        return guard_infeasible(max(latencies) + pipeline_fill_cycles(profiles.values(), hardware))
+    return guard_infeasible(sum(latencies))
 
 
 def minimum_latency_all_compute(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import AllocationCache
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import dynaplasia
 from .common import (
@@ -32,11 +33,18 @@ def run_end_to_end(
     batch_sizes: Sequence[int] = (1, 2, 4, 8),
     seq_len: int = 64,
     compilers: Sequence[str] = COMPILER_NAMES,
+    cache: Optional["AllocationCache"] = None,
 ) -> List[Dict]:
     """Run the Fig. 14 grid and return one row per (model, batch size).
 
     Each row contains the end-to-end cycles of every compiler, the speedup
     of CMSwitch over each baseline and CMSwitch's memory-array ratio.
+
+    Args:
+        cache: Optional shared allocation cache.  One cache across the
+            whole grid lets CMSwitch reuse per-segment solves between the
+            dual- and fixed-mode passes and across batch sizes that
+            produce structurally identical segments.
     """
     hardware = hardware or dynaplasia()
     rows: List[Dict] = []
@@ -44,7 +52,8 @@ def run_end_to_end(
         for model in models:
             workload = encode_workload(model, batch_size, seq_len)
             results = {
-                name: run_model(model, workload, hardware, name) for name in compilers
+                name: run_model(model, workload, hardware, name, cache=cache)
+                for name in compilers
             }
             row: Dict = {
                 "model": model,

@@ -10,6 +10,7 @@ simulators need is derived from these parameters.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict
@@ -192,6 +193,23 @@ class DualModeHardwareAbstraction:
     def with_overrides(self, **kwargs) -> "DualModeHardwareAbstraction":
         """Copy of this abstraction with some parameters replaced."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable hashable digest of every cost-relevant parameter.
+
+        Two abstractions with identical parameters (the preset name
+        included) produce the same fingerprint; any override changes it.
+        Used as the hardware component of allocation-cache keys, so cached
+        MILP solutions are never reused across different chips.  The
+        digest is memoised on the (frozen, hence immutable) instance —
+        allocation-cache lookups call this in the DP inner loop.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            canonical = repr(sorted(self.to_dict().items()))
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def to_dict(self) -> Dict:
         """Serialise to a plain dictionary."""

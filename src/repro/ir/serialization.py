@@ -34,21 +34,38 @@ def graph_to_json(graph: Graph, indent: int = 2) -> str:
 
 
 def graph_from_json(text: str) -> Graph:
-    """Parse a graph from a JSON string produced by :func:`graph_to_json`."""
+    """Parse a graph from a JSON string produced by :func:`graph_to_json`.
+
+    The payload is validated field by field so a bad document is rejected
+    with a :class:`SerializationError` naming the offending field:
+    ``format`` must be exactly :data:`FORMAT_NAME`, ``version`` must be a
+    positive integer no newer than :data:`FORMAT_VERSION` (older versions
+    remain readable), and ``graph`` must be the serialised graph mapping.
+    """
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
-        raise SerializationError("not a repro graph document")
-    version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if not isinstance(payload, dict):
+        raise SerializationError("not a repro graph document (expected a JSON object)")
+    fmt = payload.get("format")
+    if fmt != FORMAT_NAME:
         raise SerializationError(
-            f"unsupported graph format version {version!r} (expected {FORMAT_VERSION})"
+            f"unsupported 'format': {fmt!r} (expected {FORMAT_NAME!r})"
+        )
+    version = payload.get("version")
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise SerializationError(
+            f"invalid 'version': {version!r} (expected a positive integer)"
+        )
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported 'version': {version} is newer than this library's "
+            f"format version {FORMAT_VERSION}"
         )
     graph_data = payload.get("graph")
     if not isinstance(graph_data, dict):
-        raise SerializationError("missing 'graph' section")
+        raise SerializationError("missing or malformed 'graph' section")
     return Graph.from_dict(graph_data)
 
 

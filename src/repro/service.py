@@ -1,0 +1,227 @@
+"""Batch compilation service with a shared allocation cache.
+
+One CMSwitch compile is dominated by per-segment allocation solves
+(Fig. 18 of the paper).  Serving many compile requests from one process —
+design-space-exploration sweeps, multi-model fleets, repeated compiles of
+the same network at different workloads — repeats most of those solves.
+:class:`CompileService` amortises them:
+
+* every job compiles against one shared, thread-safe
+  :class:`~repro.core.cache.AllocationCache`, so structurally identical
+  segments are solved once across the whole batch;
+* jobs run concurrently on a thread pool (``concurrent.futures``); the
+  MILP solves release the GIL inside HiGHS, so batches scale with cores;
+* each job reports its own statistics (cache hit rate, allocator solves,
+  wall time) via :class:`CompileJobResult` and
+  ``CompiledProgram.stats``; an error in one job is captured in its
+  result and never kills the rest of the batch.
+
+Usage::
+
+    from repro.service import CompileJob, CompileService
+
+    service = CompileService()
+    results = service.compile_batch(
+        [
+            CompileJob("resnet18"),
+            CompileJob("bert", workload=Workload(batch_size=4)),
+        ]
+    )
+    for result in results:
+        print(result.describe())
+
+The CLI exposes the same path as ``repro compile-batch``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .core.cache import AllocationCache, CacheStats
+from .core.compiler import CMSwitchCompiler, CompilerOptions
+from .core.program import CompiledProgram
+from .hardware.deha import DualModeHardwareAbstraction
+from .hardware.presets import get_preset
+from .ir.graph import Graph
+from .models.registry import build_model
+from .models.workload import Workload
+
+__all__ = ["CompileJob", "CompileJobResult", "CompileService", "compile_batch"]
+
+
+@dataclass
+class CompileJob:
+    """One compilation request.
+
+    Attributes:
+        model: Registered model name (built via
+            :func:`repro.models.build_model`) or an already-built
+            :class:`~repro.ir.graph.Graph`.
+        workload: Workload for model building (defaults to ``Workload()``;
+            ignored when ``model`` is a graph).
+        hardware: Hardware preset name or abstraction instance.
+        options: Compiler options (paper defaults, code generation off,
+            when omitted).
+        label: Display name; defaults to the model/graph name.
+    """
+
+    model: Union[str, Graph]
+    workload: Optional[Workload] = None
+    hardware: Union[str, DualModeHardwareAbstraction] = "dynaplasia"
+    options: Optional[CompilerOptions] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable job name."""
+        if self.label:
+            return self.label
+        return self.model if isinstance(self.model, str) else self.model.name
+
+    def resolve_graph(self) -> Graph:
+        """Materialise the computation graph of the job."""
+        if isinstance(self.model, Graph):
+            return self.model
+        return build_model(self.model, self.workload or Workload())
+
+    def resolve_hardware(self) -> DualModeHardwareAbstraction:
+        """Materialise the hardware abstraction of the job."""
+        if isinstance(self.hardware, DualModeHardwareAbstraction):
+            return self.hardware
+        return get_preset(self.hardware)
+
+
+@dataclass
+class CompileJobResult:
+    """Outcome of one job: the program, or the error that stopped it.
+
+    Attributes:
+        job: The originating request.
+        program: The compiled program (None when the job failed).
+        error: One-line error description (None on success).
+        error_traceback: Full traceback text of the failure.
+        wall_seconds: Wall-clock time the job took inside the service.
+        stats: The program's compile statistics (allocator solves, cache
+            hits, hit rate); empty on failure.
+    """
+
+    job: CompileJob
+    program: Optional[CompiledProgram] = None
+    error: Optional[str] = None
+    error_traceback: Optional[str] = None
+    wall_seconds: float = 0.0
+    stats: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job compiled successfully."""
+        return self.program is not None
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI table."""
+        if not self.ok:
+            return f"{self.job.name}: FAILED ({self.error})"
+        hit_rate = self.stats.get("allocation_cache_hit_rate", 0.0)
+        return (
+            f"{self.job.name}: {self.program.end_to_end_ms:.3f} ms, "
+            f"{self.program.num_segments} segments, "
+            f"cache hit rate {100.0 * hit_rate:.0f}%, "
+            f"{self.wall_seconds:.3f} s"
+        )
+
+
+class CompileService:
+    """Compiles many (model, workload, hardware) jobs from one process.
+
+    Args:
+        cache: Shared allocation cache; a fresh bounded one is created
+            when omitted.  Pass ``None`` explicitly via ``use_cache=False``
+            to benchmark the uncached path.
+        max_workers: Default thread-pool width for
+            :meth:`compile_batch` (None lets ``concurrent.futures``
+            choose).
+        use_cache: Disable the shared cache entirely (for A/B timing).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[AllocationCache] = None,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> None:
+        # `cache is not None`, not truthiness: an empty AllocationCache has
+        # len() == 0 and would otherwise be silently replaced.
+        self.cache = (cache if cache is not None else AllocationCache()) if use_cache else None
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # single job
+    # ------------------------------------------------------------------ #
+    def compile(self, job: CompileJob) -> CompileJobResult:
+        """Compile one job, capturing any failure in the result."""
+        start = time.perf_counter()
+        try:
+            graph = job.resolve_graph()
+            hardware = job.resolve_hardware()
+            options = job.options or CompilerOptions(generate_code=False)
+            compiler = CMSwitchCompiler(hardware, options, cache=self.cache)
+            program = compiler.compile(graph)
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            return CompileJobResult(
+                job=job,
+                error=f"{type(exc).__name__}: {exc}",
+                error_traceback=traceback.format_exc(),
+                wall_seconds=time.perf_counter() - start,
+            )
+        return CompileJobResult(
+            job=job,
+            program=program,
+            wall_seconds=time.perf_counter() - start,
+            stats=dict(program.stats),
+        )
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def compile_batch(
+        self,
+        jobs: Sequence[CompileJob],
+        max_workers: Optional[int] = None,
+    ) -> List[CompileJobResult]:
+        """Compile all jobs concurrently; results keep the input order.
+
+        A failing job yields a :class:`CompileJobResult` with ``ok ==
+        False``; the remaining jobs are unaffected.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = max_workers if max_workers is not None else self.max_workers
+        if (workers is not None and workers <= 1) or len(jobs) == 1:
+            return [self.compile(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.compile, jobs))
+
+    # ------------------------------------------------------------------ #
+    # service-level statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregate cache counters across every job served so far."""
+        if self.cache is None:
+            return CacheStats()
+        return self.cache.stats.snapshot()
+
+
+def compile_batch(
+    jobs: Sequence[CompileJob],
+    cache: Optional[AllocationCache] = None,
+    max_workers: Optional[int] = None,
+) -> List[CompileJobResult]:
+    """Convenience wrapper: run one batch through a fresh service."""
+    service = CompileService(cache=cache, max_workers=max_workers)
+    return service.compile_batch(jobs)

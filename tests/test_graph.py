@@ -154,3 +154,28 @@ class TestSerialization:
         text = graph_to_json(tiny_mlp_graph).replace('"version": 1', '"version": 99')
         with pytest.raises(SerializationError):
             graph_from_json(text)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("[1, 2, 3]")
+
+    def test_bad_format_error_names_field(self):
+        with pytest.raises(SerializationError, match="'format'"):
+            graph_from_json('{"format": "other", "version": 1}')
+        with pytest.raises(SerializationError, match="'format'"):
+            graph_from_json('{"version": 1}')
+
+    def test_newer_version_error_names_field(self, tiny_mlp_graph):
+        text = graph_to_json(tiny_mlp_graph).replace('"version": 1', '"version": 99')
+        with pytest.raises(SerializationError, match="'version'.*newer"):
+            graph_from_json(text)
+
+    def test_non_integer_version_rejected(self, tiny_mlp_graph):
+        for bad in ('"1"', "0", "-2", "true", "null", "1.5"):
+            text = graph_to_json(tiny_mlp_graph).replace('"version": 1', f'"version": {bad}')
+            with pytest.raises(SerializationError, match="'version'"):
+                graph_from_json(text)
+
+    def test_missing_graph_section_rejected(self):
+        with pytest.raises(SerializationError, match="'graph'"):
+            graph_from_json('{"format": "repro-graph", "version": 1}')

@@ -1,0 +1,147 @@
+"""Tests for the batch compilation service and its CLI subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import AllocationCache, CMSwitchCompiler, CompilerOptions
+from repro.models import Workload, build_model
+from repro.service import CompileJob, CompileJobResult, CompileService, compile_batch
+
+
+class TestCompileJob:
+    def test_name_from_model_string(self):
+        assert CompileJob("tiny-cnn").name == "tiny-cnn"
+
+    def test_name_from_graph_and_label(self, tiny_cnn_graph):
+        assert CompileJob(tiny_cnn_graph).name == tiny_cnn_graph.name
+        assert CompileJob("tiny-cnn", label="warm").name == "warm"
+
+    def test_resolves_preset_and_graph(self, small_chip):
+        job = CompileJob("tiny-mlp", hardware="small-test-chip")
+        assert job.resolve_hardware() == small_chip
+        assert job.resolve_graph().name
+
+    def test_graph_passthrough(self, tiny_cnn_graph, small_chip):
+        job = CompileJob(tiny_cnn_graph, hardware=small_chip)
+        assert job.resolve_graph() is tiny_cnn_graph
+        assert job.resolve_hardware() is small_chip
+
+
+class TestCompileService:
+    def _jobs(self, small_chip):
+        workload = Workload(batch_size=1)
+        return [
+            CompileJob("tiny-cnn", workload=workload, hardware=small_chip),
+            CompileJob("tiny-mlp", workload=workload, hardware=small_chip),
+        ]
+
+    def test_batch_matches_sequential_compiles(self, small_chip):
+        results = CompileService().compile_batch(self._jobs(small_chip), max_workers=2)
+        assert all(result.ok for result in results)
+        for result in results:
+            graph = result.job.resolve_graph()
+            reference = CMSwitchCompiler(
+                small_chip, CompilerOptions(generate_code=False)
+            ).compile(graph)
+            assert result.program.end_to_end_cycles == reference.end_to_end_cycles
+            assert [s.allocations for s in result.program.segments] == [
+                s.allocations for s in reference.segments
+            ]
+
+    def test_results_keep_input_order(self, small_chip):
+        jobs = self._jobs(small_chip)
+        results = CompileService().compile_batch(jobs, max_workers=2)
+        assert [result.job.name for result in results] == [job.name for job in jobs]
+
+    def test_error_does_not_kill_batch(self, small_chip):
+        jobs = [
+            CompileJob("tiny-cnn", hardware=small_chip),
+            CompileJob("no-such-model", hardware=small_chip),
+            CompileJob("tiny-mlp", hardware=small_chip),
+        ]
+        results = CompileService().compile_batch(jobs, max_workers=2)
+        assert [result.ok for result in results] == [True, False, True]
+        failed = results[1]
+        assert failed.program is None
+        assert "no-such-model" in failed.error or "KeyError" in failed.error
+        assert failed.error_traceback
+        assert "FAILED" in failed.describe()
+
+    def test_repeated_jobs_reuse_cached_solves(self, small_chip):
+        """Acceptance: same model twice -> strictly fewer solves than 2x cold."""
+        cold = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False)
+        ).compile(build_model("tiny-cnn", Workload(batch_size=1)))
+        cold_solves = cold.stats["allocator_solves"]
+        assert cold_solves > 0
+
+        service = CompileService()
+        jobs = [CompileJob("tiny-cnn", hardware=small_chip) for _ in range(2)]
+        # Sequential workers make the second job's hit count deterministic.
+        results = service.compile_batch(jobs, max_workers=1)
+        total_solves = sum(result.stats["allocator_solves"] for result in results)
+        assert total_solves < 2 * cold_solves
+        assert results[1].stats["allocator_solves"] == 0
+        assert results[1].stats["allocation_cache_hit_rate"] == 1.0
+        assert service.cache_stats.hits > 0
+
+    def test_per_job_stats_surfaced(self, small_chip):
+        result = CompileService().compile(CompileJob("tiny-mlp", hardware=small_chip))
+        assert result.ok
+        for key in ("allocator_solves", "allocation_cache_hits",
+                    "allocation_cache_hit_rate", "wall_seconds"):
+            assert key in result.stats
+        assert result.stats == result.program.stats
+        assert result.wall_seconds > 0
+        assert "cache hit rate" in result.describe()
+
+    def test_use_cache_false_disables_sharing(self, small_chip):
+        service = CompileService(use_cache=False)
+        assert service.cache is None
+        results = service.compile_batch(
+            [CompileJob("tiny-mlp", hardware=small_chip)] * 2, max_workers=1
+        )
+        assert all(result.ok for result in results)
+        assert all(result.stats["allocation_cache_hits"] == 0 for result in results)
+        assert service.cache_stats.lookups == 0
+
+    def test_external_cache_is_shared(self, small_chip):
+        cache = AllocationCache()
+        compile_batch([CompileJob("tiny-mlp", hardware=small_chip)], cache=cache)
+        assert cache.stats.stores > 0
+
+    def test_empty_batch(self):
+        assert CompileService().compile_batch([]) == []
+
+
+class TestCompileBatchCLI:
+    def test_parser_accepts_batch_arguments(self):
+        args = build_parser().parse_args(
+            ["compile-batch", "tiny-cnn", "tiny-mlp", "--hardware", "small-test-chip",
+             "--jobs", "2", "--repeat", "2"]
+        )
+        assert args.models == ["tiny-cnn", "tiny-mlp"]
+        assert args.jobs == 2 and args.repeat == 2 and not args.no_cache
+
+    def test_cli_compile_batch_runs(self, capsys):
+        code = main(
+            ["compile-batch", "tiny-cnn", "tiny-mlp",
+             "--hardware", "small-test-chip", "--repeat", "2", "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "tiny-cnn#2" in out
+        assert "cache:" in out
+
+    def test_cli_reports_failures_with_nonzero_exit(self, capsys):
+        code = main(["compile-batch", "definitely-not-a-model",
+                     "--hardware", "small-test-chip"])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_cli_no_cache_flag(self, capsys):
+        code = main(["compile-batch", "tiny-mlp", "--hardware", "small-test-chip",
+                     "--no-cache"])
+        assert code == 0
+        assert "0 hits / 0 lookups" in capsys.readouterr().out
