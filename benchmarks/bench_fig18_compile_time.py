@@ -12,7 +12,11 @@ smoke script::
 
 which compiles a small model set twice against a shared allocation cache
 and prints the warm-pass hit rate and speedup, making compile-time (and
-cache) regressions visible straight from CI logs.
+cache) regressions visible straight from CI logs.  Add
+``--cache-dir DIR`` to back the cache with a persistent
+:class:`repro.core.store.DiskCacheStore`: running the smoke twice against
+the same directory shows the cross-process warm start (the second run's
+"cold" pass performs zero solves).
 """
 
 import pytest
@@ -43,13 +47,14 @@ def test_fig18_compilation_overhead(benchmark, chip, grids):
     assert by_model["llama2-7b"] <= by_model["resnet18"] * 2.0
 
 
-def _quick_smoke() -> int:
+def _quick_smoke(cache_dir=None) -> int:
     """CI smoke: cold/warm compile with a shared cache; print hit rate."""
     from repro.experiments.compile_time import cached_compile_speedup
 
-    stats = cached_compile_speedup()
+    stats = cached_compile_speedup(cache_dir=cache_dir)
+    where = f", persistent store: {cache_dir}" if cache_dir else ""
     print(
-        "compile-time smoke (shared allocation cache):\n"
+        f"compile-time smoke (shared allocation cache{where}):\n"
         f"  cold pass : {stats['cold_seconds']:.3f} s "
         f"({stats['allocator_solves_cold']} allocator solves)\n"
         f"  warm pass : {stats['warm_seconds']:.3f} s "
@@ -68,8 +73,15 @@ def _quick_smoke() -> int:
 
 
 if __name__ == "__main__":
+    import argparse
     import sys
 
-    if "--quick" in sys.argv:
-        sys.exit(_quick_smoke())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run the CI smoke")
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent allocation-cache directory"
+    )
+    cli_args, _ = parser.parse_known_args()
+    if cli_args.quick:
+        sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir))
     print(render_report(measure_compile_time()))

@@ -13,8 +13,13 @@ compute/memory split and the achievable latency move.  This example
 * sweeps the number of dual-mode arrays to show where extra arrays stop
   paying off for a fixed workload.
 
-Run with ``python examples/design_space_exploration.py``.
+Run with ``python examples/design_space_exploration.py``.  Pass a
+directory as the first argument to persist the allocation cache there:
+re-running the script (or widening the sweep, or fanning it out across
+processes) then reuses every solve the previous run already did.
 """
+
+import sys
 
 from repro.analysis import compiled_array_sweep, mode_ratio_sweep
 from repro.baselines import CIMMLCCompiler
@@ -44,15 +49,20 @@ def prime_comparison() -> None:
     print()
 
 
-def array_count_sweep() -> None:
+def array_count_sweep(cache_dir=None) -> None:
     """How latency scales with the number of dual-mode arrays.
 
     The whole sweep shares one allocation cache, so every design point's
     fixed-mode fallback pass reuses the dual-mode MILP solves and a
     re-run of the sweep (the typical DSE iteration loop) is nearly free.
+    With a ``cache_dir`` the cache is disk-backed and the reuse survives
+    across script invocations and processes.
     """
+    from repro.core import DiskCacheStore
+
     graph = build_model("resnet18", Workload(batch_size=1))
-    cache = AllocationCache()
+    store = DiskCacheStore(cache_dir) if cache_dir else None
+    cache = AllocationCache(store=store)
     print("ResNet-18 latency vs. number of dual-mode arrays (DynaPlasia-like):")
     rows = compiled_array_sweep(graph, dynaplasia(), (32, 64, 96, 128, 192), cache=cache)
     for row in rows:
@@ -67,9 +77,10 @@ def array_count_sweep() -> None:
 
 
 def main() -> None:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else None
     motivation_sweep()
     prime_comparison()
-    array_count_sweep()
+    array_count_sweep(cache_dir)
 
 
 if __name__ == "__main__":

@@ -33,12 +33,13 @@ Sub-packages:
 
 from .core.cache import AllocationCache
 from .core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError, compile_model
+from .core.store import DiskCacheStore
 from .core.program import CompiledProgram, SegmentPlan
 from .hardware import DualModeHardwareAbstraction, dynaplasia, get_preset, prime, small_test_chip
 from .models import Phase, Workload, build_model, list_models
 from .service import CompileJob, CompileJobResult, CompileService, compile_batch
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "AllocationCache",
@@ -48,6 +49,7 @@ __all__ = [
     "CompileService",
     "CompiledProgram",
     "CompilerOptions",
+    "DiskCacheStore",
     "DualModeHardwareAbstraction",
     "NoFeasiblePlanError",
     "Phase",

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.cache import AllocationCache
 from ..core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError
+from ..core.store import DiskCacheStore
 from ..cost.arithmetic import OperatorProfile, profile_graph
 from ..cost.latency import OperatorAllocation, operator_latency_cycles  # noqa: F401  (re-exported for users)
 from ..hardware.deha import DualModeHardwareAbstraction
@@ -154,6 +155,7 @@ def compiled_array_sweep(
     array_counts: Sequence[int],
     cache: Optional[AllocationCache] = None,
     options: Optional[CompilerOptions] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict]:
     """Compile ``graph`` for a family of array counts (DSE with a cache).
 
@@ -161,7 +163,17 @@ def compiled_array_sweep(
     CMSwitch pipeline (DP segmentation + MILP allocation + fixed-mode
     fallback).  All points share one :class:`AllocationCache`: each
     point's fixed-mode pass reuses its dual-mode solves, and re-running
-    the sweep — the common DSE loop — hits the cache outright.
+    the sweep — the common DSE loop — hits the cache outright.  With a
+    ``cache_dir`` the cache is disk-backed, so the reuse extends across
+    processes and invocations: restarting a sweep, widening its range,
+    or fanning design points out to worker processes re-pays nothing for
+    the sub-problems any earlier run already solved.
+
+    Args:
+        cache: Shared allocation cache (mutually exclusive with
+            ``cache_dir``; a fresh one is created when both are omitted).
+        cache_dir: Directory of a persistent
+            :class:`~repro.core.store.DiskCacheStore` backing the cache.
 
     Returns:
         One row per array count with ``num_arrays``, ``feasible``,
@@ -170,7 +182,11 @@ def compiled_array_sweep(
         (the boundary a DSE sweep exists to find) is reported as an
         infeasible row (``cycles == inf``) rather than aborting the sweep.
     """
-    cache = cache if cache is not None else AllocationCache()
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass either cache or cache_dir, not both")
+    if cache is None:
+        store = DiskCacheStore(cache_dir) if cache_dir else None
+        cache = AllocationCache(store=store)
     options = options or CompilerOptions(generate_code=False)
     rows: List[Dict] = []
     for num_arrays in array_counts:

@@ -9,14 +9,19 @@ Installed as ``python -m repro.cli`` (or used programmatically through
   plan summary (optionally the meta-operator flow and per-segment table).
 * ``compile-batch`` — compile many models through the
   :class:`repro.service.CompileService` (shared allocation cache, thread
-  pool) and print per-job statistics including the cache hit rate.
+  or process pool) and print per-job statistics including the cache hit
+  rate.  ``--cache-dir`` persists the cache on disk so later invocations
+  (and process-pool workers) reuse earlier solves.
 * ``compare`` — compile with CMSwitch and the baselines and print speedups.
-* ``experiment`` — run one of the paper-figure experiments.
+* ``experiment`` — run one of the paper-figure experiments
+  (``--cache-dir`` persists allocation solves across runs).
 
 Examples::
 
     python -m repro.cli compile llama2-7b --hardware dynaplasia --batch 1 --seq-len 128
     python -m repro.cli compile-batch resnet18 bert vgg16 --jobs 4 --repeat 2
+    python -m repro.cli compile-batch resnet18 bert --cache-dir ~/.cache/repro-allocs
+    python -m repro.cli compile-batch resnet18 bert --backend process --cache-dir /tmp/ac
     python -m repro.cli compare resnet18 --batch 8
     python -m repro.cli experiment fig14 --batch-sizes 1 8
 """
@@ -100,6 +105,16 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
     """Compile several models through the batch service and print stats."""
     from .service import CompileJob, CompileService
 
+    if not args.models:
+        print(
+            "error: compile-batch requires at least one model name\n"
+            "usage: repro compile-batch MODEL [MODEL ...] [--cache-dir DIR] "
+            "[--backend {thread,process}]\n"
+            "       (run 'repro models' to list the registered models)",
+            file=sys.stderr,
+        )
+        return 2
+
     hardware = get_preset(args.hardware)
     jobs = []
     for round_index in range(max(1, args.repeat)):
@@ -108,7 +123,12 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
             label = model if args.repeat <= 1 else f"{model}#{round_index + 1}"
             jobs.append(CompileJob(model, workload=workload, hardware=hardware, label=label))
 
-    service = CompileService(max_workers=args.jobs, use_cache=not args.no_cache)
+    service = CompileService(
+        max_workers=args.jobs,
+        use_cache=not args.no_cache,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+    )
     results = service.compile_batch(jobs)
 
     header = (
@@ -117,12 +137,14 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
     )
     print(header)
     failures = 0
+    total_solves = 0
     for result in results:
         if not result.ok:
             failures += 1
             print(f"{result.job.name:16s} FAILED: {result.error}")
             continue
         stats = result.stats
+        total_solves += stats.get("allocator_solves", 0)
         print(
             f"{result.job.name:16s} {result.program.end_to_end_ms:13.3f} "
             f"{result.program.num_segments:9d} {stats.get('allocator_solves', 0):7d} "
@@ -130,11 +152,21 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
             f"{100.0 * stats.get('allocation_cache_hit_rate', 0.0):8.1f}% "
             f"{result.wall_seconds:9.3f}"
         )
-    aggregate = service.cache_stats
-    print(
-        f"cache: {aggregate.hits} hits / {aggregate.lookups} lookups "
-        f"({100.0 * aggregate.hit_rate:.1f}%), {aggregate.evictions} evictions"
-    )
+    if args.backend == "thread":
+        aggregate = service.cache_stats
+        print(
+            f"cache: {aggregate.hits} hits / {aggregate.lookups} lookups "
+            f"({100.0 * aggregate.hit_rate:.1f}%), {aggregate.evictions} evictions"
+        )
+        if service.cache is not None and service.cache.store is not None:
+            disk = service.cache.store.stats
+            print(
+                f"disk store: {disk.hits} hits, {disk.stores} stores, "
+                f"{disk.evictions} evictions ({service.cache.store.root})"
+            )
+    # Machine-checkable summary: CI smoke greps this line to assert a
+    # disk-warm second invocation performs zero solves.
+    print(f"total allocator solves: {total_solves}")
     return 1 if failures else 0
 
 
@@ -162,15 +194,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one of the paper-figure experiments and print its report."""
+    from .core.cache import AllocationCache
+    from .core.store import DiskCacheStore
     from .experiments import end_to_end, generative, workload_scale
     from .experiments import allocation_report as allocation
     from .experiments import compile_time, overheads
     from .hardware.presets import dynaplasia
 
     hardware = get_preset(args.hardware)
+    # A persistent cache makes re-running (or widening) an experiment
+    # reuse every allocation solve an earlier invocation already did.
+    cache = None
+    if getattr(args, "cache_dir", None):
+        cache = AllocationCache(store=DiskCacheStore(args.cache_dir))
     if args.figure == "fig14":
         rows = end_to_end.run_end_to_end(
-            hardware=hardware, batch_sizes=tuple(args.batch_sizes)
+            hardware=hardware, batch_sizes=tuple(args.batch_sizes), cache=cache
         )
         print(end_to_end.render_report(rows))
     elif args.figure == "fig16":
@@ -178,25 +217,30 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             hardware=hardware,
             batch_sizes=tuple(args.batch_sizes),
             sequence_lengths=tuple(args.sequence_lengths),
+            cache=cache,
         )
         print(workload_scale.render_report(rows))
     elif args.figure == "fig17":
         rows = generative.run_generative(
-            hardware=hardware, lengths=tuple(args.sequence_lengths)
+            hardware=hardware, lengths=tuple(args.sequence_lengths), cache=cache
         )
         print(generative.render_report(rows))
     elif args.figure == "fig15":
         for model in ("vgg16", "opt-6.7b"):
-            rows = allocation.allocation_report(model, hardware=hardware)
+            rows = allocation.allocation_report(model, hardware=hardware, cache=cache)
             print(allocation.render_report(model, rows))
             print()
     elif args.figure == "fig18":
-        rows = compile_time.measure_compile_time(hardware=hardware)
+        rows = compile_time.measure_compile_time(hardware=hardware, cache=cache)
         print(compile_time.render_report(rows))
     elif args.figure == "sec5.5":
-        print(overheads.render_switch_report(overheads.switch_overhead(hardware=hardware)))
+        print(
+            overheads.render_switch_report(
+                overheads.switch_overhead(hardware=hardware, cache=cache)
+            )
+        )
         print()
-        print(overheads.render_prime_report(overheads.prime_scalability()))
+        print(overheads.render_prime_report(overheads.prime_scalability(cache=cache)))
     else:  # pragma: no cover - argparse restricts the choices
         raise ValueError(f"unknown figure {args.figure!r}")
     return 0
@@ -226,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compile-batch",
         help="compile many models concurrently with a shared allocation cache",
     )
-    batch.add_argument("models", nargs="+", help="registered model names")
+    batch.add_argument("models", nargs="*", help="registered model names (at least one)")
     batch.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
     batch.add_argument("--batch", type=int, default=1, help="batch size")
     batch.add_argument("--seq-len", type=int, default=64, help="input sequence length")
@@ -247,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-cache", action="store_true", help="disable the shared allocation cache"
     )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent allocation-cache directory (shared across runs and processes)",
+    )
+    batch.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend (process workers share solves via --cache-dir)",
+    )
     batch.set_defaults(func=cmd_compile_batch)
 
     compare = sub.add_parser("compare", help="compare CMSwitch against the baselines")
@@ -260,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
     experiment.add_argument("--batch-sizes", type=int, nargs="+", default=[1])
     experiment.add_argument("--sequence-lengths", type=int, nargs="+", default=[32, 256])
+    experiment.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent allocation-cache directory reused across experiment runs",
+    )
     experiment.set_defaults(func=cmd_experiment)
     return parser
 

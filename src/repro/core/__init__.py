@@ -11,7 +11,7 @@ from .allocation import (
     refine_with_spare_arrays,
     segment_fits,
 )
-from .cache import AllocationCache, AllocationCacheKey, CacheStats
+from .cache import AllocationCache, AllocationCacheKey, CacheEntry, CacheStats
 from .codegen import CodeGenerationError, generate_program
 from .compiler import (
     CMSwitchCompiler,
@@ -32,6 +32,7 @@ from .metaop import (
     WeightLoadOp,
 )
 from .program import CompiledProgram, SegmentPlan
+from .store import DiskCacheStore, DiskStoreStats
 from .segmentation import (
     FlattenedUnit,
     NetworkSegmenter,
@@ -47,11 +48,14 @@ __all__ = [
     "AllocationCandidate",
     "AllocationResult",
     "CMSwitchCompiler",
+    "CacheEntry",
     "CacheStats",
     "CodeGenerationError",
     "CompiledProgram",
     "CompilerOptions",
     "ComputeOp",
+    "DiskCacheStore",
+    "DiskStoreStats",
     "FlattenedUnit",
     "GreedyAllocator",
     "MIPAllocator",

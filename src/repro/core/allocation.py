@@ -499,5 +499,5 @@ def allocate_segment(
             reserve_arrays=reserve_arrays,
         )
     if cache is not None:
-        cache.store(cache_key, profiles, result)
+        cache.put(cache_key, profiles, result)
     return result

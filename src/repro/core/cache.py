@@ -22,7 +22,12 @@ solves *across* segmentation runs, compilers and even compile requests:
   memory-mode arrays: the dual-mode optimum then lies inside the
   fixed-mode search space, so reusing it is exact (a *cross-mode hit*);
 * the cache is size-bounded (LRU eviction) and thread-safe, so one
-  instance can back a whole :class:`~repro.service.CompileService`.
+  instance can back a whole :class:`~repro.service.CompileService`;
+* an optional second tier — a
+  :class:`~repro.core.store.DiskCacheStore` — persists entries across
+  processes: memory misses fall through to disk, disk hits are promoted
+  into memory, and fresh solves are written through, so a cold process
+  pointed at a warmed cache directory compiles with zero solver calls.
 
 Usage::
 
@@ -31,6 +36,10 @@ Usage::
     program = compiler.compile(graph)          # cold: solves and stores
     program = compiler.compile(graph)          # warm: pure cache hits
     print(cache.stats.hit_rate)
+
+    # Cross-process persistence: any process pointed at the same
+    # directory warms from the entries every earlier process solved.
+    cache = AllocationCache(store=DiskCacheStore("~/.cache/repro-allocs"))
 """
 
 from __future__ import annotations
@@ -44,11 +53,14 @@ from ..cost.arithmetic import OperatorProfile
 from ..cost.latency import OperatorAllocation
 from ..hardware.deha import DualModeHardwareAbstraction
 from .allocation import AllocationResult
+from .store import DiskCacheStore
 
 __all__ = [
     "AllocationCache",
     "AllocationCacheKey",
+    "CacheEntry",
     "CacheStats",
+    "DiskCacheStore",
     "profile_signature",
     "segment_signature",
 ]
@@ -133,8 +145,15 @@ class AllocationCacheKey:
 
 
 @dataclass(frozen=True)
-class _CacheEntry:
-    """Stored outcome of one solve, with allocations kept positionally."""
+class CacheEntry:
+    """Stored outcome of one solve, with allocations kept positionally.
+
+    This is the unit both cache tiers move around: the in-memory LRU maps
+    keys to entries directly, and :class:`~repro.core.store.DiskCacheStore`
+    persists the :meth:`to_payload` rendering.  Operator names are *not*
+    part of an entry — allocations are positional, so one entry serves
+    every structurally identical segment regardless of labels.
+    """
 
     allocations: Tuple[Tuple[int, int], ...]
     latency_cycles: float
@@ -160,15 +179,66 @@ class _CacheEntry:
             from_cache=True,
         )
 
+    # ------------------------------------------------------------------ #
+    # on-disk payload (consumed by DiskCacheStore)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict:
+        """JSON-compatible rendering for the persistent store."""
+        return {
+            "allocations": [list(pair) for pair in self.allocations],
+            "latency_cycles": self.latency_cycles,
+            "feasible": self.feasible,
+            "solver": self.solver,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CacheEntry":
+        """Rebuild an entry from :meth:`to_payload` output.
+
+        Raises:
+            TypeError/ValueError/KeyError: On any shape or type mismatch —
+                the disk store converts those into a corrupt-entry miss.
+        """
+        allocations = []
+        for pair in payload["allocations"]:
+            compute, memory = pair  # raises ValueError on wrong arity
+            if isinstance(compute, bool) or isinstance(memory, bool):
+                raise TypeError("allocation counts must be integers")
+            allocations.append((int(compute), int(memory)))
+        latency = payload["latency_cycles"]
+        if isinstance(latency, bool) or not isinstance(latency, (int, float)):
+            raise TypeError("'latency_cycles' must be a number")
+        latency = float(latency)
+        feasible = payload["feasible"]
+        solver = payload["solver"]
+        if not isinstance(feasible, bool):
+            raise TypeError("'feasible' must be a boolean")
+        if not isinstance(solver, str):
+            raise TypeError("'solver' must be a string")
+        return cls(
+            allocations=tuple(allocations),
+            latency_cycles=latency,
+            feasible=feasible,
+            solver=solver,
+        )
+
+
+#: Backwards-compatible alias (the entry class was private before the
+#: disk store needed to serialise it).
+_CacheEntry = CacheEntry
+
 
 @dataclass
 class CacheStats:
     """Counters of one :class:`AllocationCache`.
 
     Attributes:
-        hits: Lookups served from the cache (cross-mode hits included).
+        hits: Lookups served from the cache (cross-mode and disk hits
+            included).
         cross_mode_hits: Fixed-mode lookups served by a memory-free
             dual-mode entry.
+        disk_hits: Lookups that missed in memory but were served by the
+            persistent second tier (and promoted into memory).
         misses: Lookups that required a fresh solve.
         stores: Entries written.
         evictions: Entries dropped by the LRU bound.
@@ -176,6 +246,7 @@ class CacheStats:
 
     hits: int = 0
     cross_mode_hits: int = 0
+    disk_hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
@@ -196,6 +267,7 @@ class CacheStats:
         return CacheStats(
             hits=self.hits,
             cross_mode_hits=self.cross_mode_hits,
+            disk_hits=self.disk_hits,
             misses=self.misses,
             stores=self.stores,
             evictions=self.evictions,
@@ -206,6 +278,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "cross_mode_hits": self.cross_mode_hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
@@ -216,16 +289,44 @@ class CacheStats:
 class AllocationCache:
     """Keyed, size-bounded, thread-safe cache of segment-allocation solves.
 
+    Key invariants (callers — the segmenter, :class:`CompileService`, DSE
+    sweeps — rely on all of them):
+
+    * **Exactness** — a hit is bit-identical to what a cold solve would
+      return for the same key; keys include every option that influences
+      the solve, and :meth:`DualModeHardwareAbstraction.fingerprint`
+      covers every cost-relevant hardware parameter, so changing any of
+      them changes the key (there is no way to get a stale answer by
+      tweaking hardware or options).
+    * **Thread safety** — all public methods may be called concurrently;
+      one instance can back a whole multi-threaded
+      :class:`~repro.service.CompileService`.
+    * **Process safety** — the in-memory tier is per-process, but with a
+      ``store`` attached, entries written by any process become visible
+      to every other process sharing the directory (the disk tier is the
+      only cross-process channel; see
+      :class:`~repro.core.store.DiskCacheStore` for its guarantees).
+    * Disk I/O never happens while the in-memory lock is held, so slow
+      filesystems cannot serialise concurrent compile threads.
+
     Args:
-        max_entries: LRU capacity; the oldest entry is evicted when a new
-            store would exceed it.  Must be positive.
+        max_entries: LRU capacity of the in-memory tier; the oldest entry
+            is evicted when a new store would exceed it.  Must be
+            positive.  (Disk-tier capacity is bounded separately by the
+            store's ``max_bytes``.)
+        store: Optional persistent second tier.  Memory misses fall
+            through to it, its hits are promoted into memory, and fresh
+            solves are written through to it.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self, max_entries: int = 4096, store: Optional[DiskCacheStore] = None
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[AllocationCacheKey, _CacheEntry]" = OrderedDict()
+        self.store = store
+        self._entries: "OrderedDict[AllocationCacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -251,37 +352,85 @@ class AllocationCache:
     ) -> Optional[AllocationResult]:
         """Return a cached result for ``key``, or None on a miss.
 
-        A fixed-mode lookup that misses is retried against the dual-mode
-        entry of the same key; it is reused only when that entry allocates
-        no memory-mode arrays (then it lies inside the fixed-mode space
-        and is exact for it).  ``names`` labels the returned allocations.
+        The lookup cascades through both tiers: exact in-memory entry,
+        cross-mode in-memory entry, then (with a ``store`` attached) the
+        same two probes against the disk tier, promoting any disk hit
+        into memory.  A fixed-mode lookup's cross-mode probe reuses the
+        dual-mode entry of the same key only when that entry allocates no
+        memory-mode arrays (then it lies inside the fixed-mode space and
+        is exact for it).  ``names`` labels the returned allocations.
         """
         with self._lock:
-            entry = self._entries.get(key)
-            cross_mode = False
-            if entry is None and not key.allow_memory_mode:
-                dual_key = key.dual_mode_variant()
-                dual_entry = self._entries.get(dual_key)
-                if dual_entry is not None and dual_entry.memory_free:
-                    entry = dual_entry
-                    key = dual_key
-                    cross_mode = True
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            if cross_mode:
-                self.stats.cross_mode_hits += 1
-            return entry.to_result(names)
+            entry, hit_key, cross_mode = self._memory_probe(key)
+            if entry is not None:
+                self._entries.move_to_end(hit_key)
+                self.stats.hits += 1
+                if cross_mode:
+                    self.stats.cross_mode_hits += 1
+                return entry.to_result(names)
+        if self.store is not None:
+            # Disk probes run outside the lock: a slow filesystem must not
+            # serialise the compile threads sharing this cache.
+            entry, hit_key, cross_mode = self._disk_probe(key)
+            if entry is not None:
+                with self._lock:
+                    self._insert(hit_key, entry)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    if cross_mode:
+                        self.stats.cross_mode_hits += 1
+                return entry.to_result(names)
+        with self._lock:
+            self.stats.misses += 1
+        return None
 
-    def store(
+    def _memory_probe(
+        self, key: AllocationCacheKey
+    ) -> Tuple[Optional[CacheEntry], AllocationCacheKey, bool]:
+        """Exact + cross-mode probe of the in-memory tier (lock held)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry, key, False
+        if not key.allow_memory_mode:
+            dual_key = key.dual_mode_variant()
+            dual_entry = self._entries.get(dual_key)
+            if dual_entry is not None and dual_entry.memory_free:
+                return dual_entry, dual_key, True
+        return None, key, False
+
+    def _disk_probe(
+        self, key: AllocationCacheKey
+    ) -> Tuple[Optional[CacheEntry], AllocationCacheKey, bool]:
+        """Exact + cross-mode probe of the persistent tier (no lock)."""
+        entry = self.store.get(key)
+        if entry is not None:
+            return entry, key, False
+        if not key.allow_memory_mode:
+            dual_key = key.dual_mode_variant()
+            dual_entry = self.store.get(dual_key)
+            if dual_entry is not None and dual_entry.memory_free:
+                return dual_entry, dual_key, True
+        return None, key, False
+
+    def _insert(self, key: AllocationCacheKey, entry: CacheEntry) -> None:
+        """Insert into the in-memory LRU, evicting past capacity (lock held)."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def put(
         self,
         key: AllocationCacheKey,
         profiles: Mapping[str, OperatorProfile],
         result: AllocationResult,
     ) -> None:
-        """Store the outcome of a fresh solve under ``key``."""
+        """Store the outcome of a fresh solve under ``key``.
+
+        The entry lands in the in-memory tier immediately and is written
+        through to the persistent tier (when attached) outside the lock.
+        """
         allocations = tuple(
             (result.allocations[name].compute_arrays, result.allocations[name].memory_arrays)
             for name in profiles
@@ -289,19 +438,17 @@ class AllocationCache:
         )
         if len(allocations) != len(profiles) and result.feasible:
             return  # partial allocation (foreign result); never cache it
-        entry = _CacheEntry(
+        entry = CacheEntry(
             allocations=allocations if result.feasible else tuple(),
             latency_cycles=result.latency_cycles,
             feasible=result.feasible,
             solver=result.solver,
         )
         with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
+            self._insert(key, entry)
             self.stats.stores += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        if self.store is not None:
+            self.store.put(key, entry)
 
     # ------------------------------------------------------------------ #
     # segment-level convenience wrappers
@@ -322,14 +469,14 @@ class AllocationCache:
         result: AllocationResult,
         **options,
     ) -> None:
-        """One-shot :meth:`make_key` + :meth:`store`."""
-        self.store(self.make_key(profiles, hardware, **options), profiles, result)
+        """One-shot :meth:`make_key` + :meth:`put`."""
+        self.put(self.make_key(profiles, hardware, **options), profiles, result)
 
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every in-memory entry (counters and the disk tier are kept)."""
         with self._lock:
             self._entries.clear()
 

@@ -17,6 +17,7 @@ from ..core.compiler import CMSwitchCompiler, CompilerOptions
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import dynaplasia
 from ..models.registry import build_model
+from ..core.cache import AllocationCache
 from ..models.workload import Phase, Workload
 from .common import format_table
 
@@ -25,8 +26,12 @@ def allocation_report(
     model: str,
     hardware: Optional[DualModeHardwareAbstraction] = None,
     workload: Optional[Workload] = None,
+    cache: Optional["AllocationCache"] = None,
 ) -> List[Dict]:
     """Compile ``model`` and report the per-segment array allocation.
+
+    Args:
+        cache: Optional shared allocation cache for the compile.
 
     Returns one row per segment: the operators it contains, the number of
     compute and memory arrays and the memory share (the pie charts of
@@ -37,7 +42,9 @@ def allocation_report(
         phase = Phase.ENCODE if any(k in model for k in ("bert", "opt", "llama", "gpt")) else Phase.PREFILL
         workload = Workload(batch_size=1, seq_len=64, phase=phase)
     graph = build_model(model, workload)
-    program = CMSwitchCompiler(hardware, CompilerOptions(generate_code=False)).compile(graph)
+    program = CMSwitchCompiler(
+        hardware, CompilerOptions(generate_code=False), cache=cache
+    ).compile(graph)
     rows: List[Dict] = []
     for segment in program.segments:
         total = segment.compute_arrays + segment.memory_arrays

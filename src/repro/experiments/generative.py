@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import AllocationCache
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import dynaplasia
 from ..models.workload import Workload
@@ -30,8 +31,14 @@ def run_generative(
     lengths: Sequence[int] = FIG17_LENGTHS,
     fixed_length: int = 128,
     batch_size: int = 1,
+    cache: Optional[AllocationCache] = None,
 ) -> List[Dict]:
     """Run both Fig. 17 sweeps.
+
+    Args:
+        cache: Optional shared allocation cache for the CMSwitch
+            compiles; both sweep directions reuse the same per-block
+            structures, so a shared cache removes most repeat solves.
 
     Returns one row per (model, sweep direction, varied length) with the
     CMSwitch and CIM-MLC cycles and the speedup.
@@ -49,7 +56,7 @@ def run_generative(
                     workload = Workload(
                         batch_size=batch_size, seq_len=length, output_len=fixed_length
                     )
-                cms = generative_cycles(model, workload, hardware, "cmswitch")
+                cms = generative_cycles(model, workload, hardware, "cmswitch", cache=cache)
                 mlc = generative_cycles(model, workload, hardware, "cim-mlc")
                 rows.append(
                     {

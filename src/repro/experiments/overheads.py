@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import AllocationCache
 from ..core.compiler import CMSwitchCompiler, CompilerOptions
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import dynaplasia, prime
@@ -28,6 +29,7 @@ def switch_overhead(
     models: Sequence[str] = FIG14_MODELS,
     batch_size: int = 1,
     seq_len: int = 64,
+    cache: Optional["AllocationCache"] = None,
 ) -> List[Dict]:
     """Share of execution time spent on the dual-mode switch process.
 
@@ -41,7 +43,9 @@ def switch_overhead(
     for model in models:
         workload = encode_workload(model, batch_size, seq_len)
         graph = build_model(model, workload)
-        program = CMSwitchCompiler(hardware, CompilerOptions(generate_code=False)).compile(graph)
+        program = CMSwitchCompiler(
+            hardware, CompilerOptions(generate_code=False), cache=cache
+        ).compile(graph)
         total = program.graph_cycles
         switch_only = program.switch_cycles
         process = sum(segment.inter_cycles for segment in program.segments)
@@ -62,13 +66,20 @@ def prime_scalability(
     batch_size: int = 1,
     seq_len: int = 64,
     hardware: Optional[DualModeHardwareAbstraction] = None,
+    cache: Optional["AllocationCache"] = None,
 ) -> List[Dict]:
-    """CMSwitch vs CIM-MLC on the PRIME-like ReRAM target (§5.5)."""
+    """CMSwitch vs CIM-MLC on the PRIME-like ReRAM target (§5.5).
+
+    Note: the default target here is the PRIME preset, not the CLI's
+    ``--hardware`` choice — a cache warmed on another chip contributes
+    nothing (different hardware fingerprint), but sharing one is always
+    safe.
+    """
     hardware = hardware or prime()
     rows: List[Dict] = []
     for model in models:
         workload = encode_workload(model, batch_size, seq_len)
-        cms = run_model(model, workload, hardware, "cmswitch")
+        cms = run_model(model, workload, hardware, "cmswitch", cache=cache)
         mlc = run_model(model, workload, hardware, "cim-mlc")
         rows.append(
             {

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import AllocationCache
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import dynaplasia
 from ..models.registry import is_transformer
@@ -36,12 +37,19 @@ def run_workload_scale(
     models: Sequence[str] = FIG16_MODELS,
     batch_sizes: Sequence[int] = (4, 8, 16),
     sequence_lengths: Sequence[int] = FIG16_SEQUENCE_LENGTHS,
+    cache: Optional[AllocationCache] = None,
 ) -> List[Dict]:
     """Run the Fig. 16 grid.
 
     Decoder models process the prompt and generate the same number of
     tokens (input length == output length, as in the paper's sweep);
     encoder models run a single pass at the given length.
+
+    Args:
+        cache: Optional shared allocation cache (honoured by the CMSwitch
+            compiles).  The grid repeats many structurally identical
+            blocks across its cells, so a shared — ideally disk-backed —
+            cache collapses most of the sweep's solver work.
 
     Returns one row per (model, batch size, sequence length) with the
     CIM-MLC and CMSwitch cycles, the speedup and the memory-array ratio.
@@ -56,7 +64,7 @@ def run_workload_scale(
                     workload = Workload(
                         batch_size=batch_size, seq_len=seq_len, output_len=seq_len
                     )
-                    cms = generative_cycles(model, workload, hardware, "cmswitch")
+                    cms = generative_cycles(model, workload, hardware, "cmswitch", cache=cache)
                     mlc = generative_cycles(model, workload, hardware, "cim-mlc")
                     row["cmswitch_cycles"] = cms["cycles"]
                     row["cim-mlc_cycles"] = mlc["cycles"]
@@ -65,7 +73,7 @@ def run_workload_scale(
                     workload = Workload(
                         batch_size=batch_size, seq_len=seq_len, phase=Phase.ENCODE
                     )
-                    cms_run = run_model(model, workload, hardware, "cmswitch")
+                    cms_run = run_model(model, workload, hardware, "cmswitch", cache=cache)
                     mlc_run = run_model(model, workload, hardware, "cim-mlc")
                     row["cmswitch_cycles"] = cms_run.cycles
                     row["cim-mlc_cycles"] = mlc_run.cycles

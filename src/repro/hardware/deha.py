@@ -198,11 +198,28 @@ class DualModeHardwareAbstraction:
         """Stable hashable digest of every cost-relevant parameter.
 
         Two abstractions with identical parameters (the preset name
-        included) produce the same fingerprint; any override changes it.
-        Used as the hardware component of allocation-cache keys, so cached
-        MILP solutions are never reused across different chips.  The
-        digest is memoised on the (frozen, hence immutable) instance —
-        allocation-cache lookups call this in the DP inner loop.
+        included) produce the same fingerprint; any override — changing
+        one of the :meth:`to_dict` fields via :meth:`with_overrides` or
+        construction — invalidates it.  Used as the hardware component
+        of allocation-cache keys, so cached MILP solutions are never
+        reused across different chips.
+
+        Invariants:
+
+        * **Cross-process stability** — the digest is SHA-256 over the
+          canonical parameter rendering, never Python's randomised
+          ``hash()``, so it is identical across processes, interpreter
+          restarts and machines.  This is what makes it safe as the key
+          component of the persistent
+          :class:`~repro.core.store.DiskCacheStore`.
+        * **Completeness** — every field of :meth:`to_dict` is covered.
+          When adding a DEHA parameter that influences any cost model,
+          add it to :meth:`to_dict` (which feeds this digest); an
+          uncovered parameter would let two different chips share cache
+          entries.
+        * The digest is memoised on the (frozen, hence immutable)
+          instance — allocation-cache lookups call this in the DP inner
+          loop.
         """
         cached = getattr(self, "_fingerprint", None)
         if cached is None:

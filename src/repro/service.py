@@ -11,6 +11,15 @@ the same network at different workloads — repeats most of those solves.
   segments are solved once across the whole batch;
 * jobs run concurrently on a thread pool (``concurrent.futures``); the
   MILP solves release the GIL inside HiGHS, so batches scale with cores;
+* for CPU-bound fleets where the GIL still caps the thread backend (the
+  DP and cost model are pure Python), ``backend="process"`` shuttles
+  picklable job specs through a ``ProcessPoolExecutor``; workers share
+  solves through a :class:`~repro.core.store.DiskCacheStore` when a
+  ``cache_dir`` is given, and the results are bit-identical to the
+  thread backend's (the solvers are deterministic);
+* a ``cache_dir`` makes the cache persistent: any later process — a new
+  CLI invocation, a CI run, a DSE sweep — warms from the directory and
+  skips every solve an earlier process already did;
 * each job reports its own statistics (cache hit rate, allocator solves,
   wall time) via :class:`CompileJobResult` and
   ``CompiledProgram.stats``; an error in one job is captured in its
@@ -20,7 +29,7 @@ Usage::
 
     from repro.service import CompileJob, CompileService
 
-    service = CompileService()
+    service = CompileService(cache_dir="~/.cache/repro-allocs")
     results = service.compile_batch(
         [
             CompileJob("resnet18"),
@@ -30,27 +39,34 @@ Usage::
     for result in results:
         print(result.describe())
 
-The CLI exposes the same path as ``repro compile-batch``.
+The CLI exposes the same path as ``repro compile-batch`` (with
+``--cache-dir`` and ``--backend``).
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from .core.cache import AllocationCache, CacheStats
 from .core.compiler import CMSwitchCompiler, CompilerOptions
 from .core.program import CompiledProgram
+from .core.store import DiskCacheStore
 from .hardware.deha import DualModeHardwareAbstraction
 from .hardware.presets import get_preset
 from .ir.graph import Graph
+from .ir.serialization import graph_from_json, graph_to_json
 from .models.registry import build_model
 from .models.workload import Workload
 
 __all__ = ["CompileJob", "CompileJobResult", "CompileService", "compile_batch"]
+
+#: Valid values of ``CompileService(backend=...)``.
+BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -94,6 +110,38 @@ class CompileJob:
             return self.hardware
         return get_preset(self.hardware)
 
+    def to_spec(self) -> Dict:
+        """Picklable rendering of the job for the process backend.
+
+        Model graphs are shipped as their JSON serialisation (the
+        round-trip is exact — see :mod:`repro.ir.serialization`); every
+        other field is a plain dataclass or string that pickles as-is.
+        """
+        return {
+            "model": self.model if isinstance(self.model, str) else None,
+            "graph_json": (
+                graph_to_json(self.model) if isinstance(self.model, Graph) else None
+            ),
+            "workload": self.workload,
+            "hardware": self.hardware,
+            "options": self.options,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "CompileJob":
+        """Rebuild a job from :meth:`to_spec` output (worker side)."""
+        model = spec["model"]
+        if spec.get("graph_json") is not None:
+            model = graph_from_json(spec["graph_json"])
+        return cls(
+            model,
+            workload=spec["workload"],
+            hardware=spec["hardware"],
+            options=spec["options"],
+            label=spec["label"],
+        )
+
 
 @dataclass
 class CompileJobResult:
@@ -135,16 +183,32 @@ class CompileJobResult:
 
 
 class CompileService:
-    """Compiles many (model, workload, hardware) jobs from one process.
+    """Compiles many (model, workload, hardware) jobs concurrently.
+
+    Concurrency / sharing contract:
+
+    * ``backend="thread"`` (default) — jobs share one in-process
+      :class:`AllocationCache`; with a ``cache_dir`` that cache also
+      persists to (and warms from) disk.  The service object itself is
+      safe to use from multiple threads.
+    * ``backend="process"`` — jobs are pickled to a
+      ``ProcessPoolExecutor``.  Workers cannot see this process's
+      in-memory cache; they share solves **only** through the
+      ``cache_dir`` disk store (each worker keeps its own in-memory tier
+      in front of it).  Results are bit-identical to the thread
+      backend's because every solver in the pipeline is deterministic.
 
     Args:
         cache: Shared allocation cache; a fresh bounded one is created
-            when omitted.  Pass ``None`` explicitly via ``use_cache=False``
-            to benchmark the uncached path.
-        max_workers: Default thread-pool width for
-            :meth:`compile_batch` (None lets ``concurrent.futures``
-            choose).
+            when omitted (disk-backed if ``cache_dir`` is given).
+            Mutually exclusive with ``cache_dir``.
+        max_workers: Default pool width for :meth:`compile_batch`
+            (None lets ``concurrent.futures`` choose).
         use_cache: Disable the shared cache entirely (for A/B timing).
+        backend: ``"thread"`` or ``"process"`` (see contract above).
+        cache_dir: Directory of a persistent
+            :class:`~repro.core.store.DiskCacheStore` shared across
+            threads, worker processes and future invocations.
     """
 
     def __init__(
@@ -152,10 +216,27 @@ class CompileService:
         cache: Optional[AllocationCache] = None,
         max_workers: Optional[int] = None,
         use_cache: bool = True,
+        backend: str = "thread",
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
-        # `cache is not None`, not truthiness: an empty AllocationCache has
-        # len() == 0 and would otherwise be silently replaced.
-        self.cache = (cache if cache is not None else AllocationCache()) if use_cache else None
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if cache is not None and cache_dir is not None:
+            raise ValueError(
+                "pass either an AllocationCache or a cache_dir, not both "
+                "(attach a DiskCacheStore to the cache yourself to combine them)"
+            )
+        self.backend = backend
+        self.cache_dir = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
+        if use_cache:
+            if cache is None:
+                store = DiskCacheStore(self.cache_dir) if self.cache_dir else None
+                # `cache is not None`, not truthiness: an empty
+                # AllocationCache has len() == 0.
+                cache = AllocationCache(store=store)
+            self.cache = cache
+        else:
+            self.cache = None
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
@@ -191,37 +272,149 @@ class CompileService:
         self,
         jobs: Sequence[CompileJob],
         max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> List[CompileJobResult]:
         """Compile all jobs concurrently; results keep the input order.
 
         A failing job yields a :class:`CompileJobResult` with ``ok ==
-        False``; the remaining jobs are unaffected.
+        False``; the remaining jobs are unaffected — this holds on both
+        backends (a worker-process crash fails only its own jobs).
+
+        Args:
+            max_workers: Pool width override for this batch.
+            backend: ``"thread"`` / ``"process"`` override for this batch
+                (defaults to the service's backend).
         """
         jobs = list(jobs)
         if not jobs:
             return []
+        backend = backend if backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         workers = max_workers if max_workers is not None else self.max_workers
+        if backend == "process":
+            return self._compile_batch_processes(jobs, workers)
         if (workers is not None and workers <= 1) or len(jobs) == 1:
             return [self.compile(job) for job in jobs]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.compile, jobs))
+
+    def _compile_batch_processes(
+        self, jobs: Sequence[CompileJob], workers: Optional[int]
+    ) -> List[CompileJobResult]:
+        """Fan the batch out to a process pool (disk store shared, if any).
+
+        Each job travels as a picklable spec (:meth:`CompileJob.to_spec`)
+        and comes back as a pickled :class:`CompileJobResult`; the
+        original job object is restored on the result so callers keep
+        identity (e.g. a ``Graph`` passed by reference).  Pool-level
+        failures — unpicklable payloads, a killed worker — are folded
+        into the affected jobs' results instead of raising.
+        """
+        # Workers share solves through the disk directory: the service's
+        # own cache_dir, or the store attached to an explicitly passed
+        # cache (the memory tier itself cannot cross the process border).
+        cache_dir = self.cache_dir
+        if cache_dir is None and self.cache is not None and self.cache.store is not None:
+            cache_dir = str(self.cache.store.root)
+        specs = [
+            {
+                **job.to_spec(),
+                "cache_dir": cache_dir,
+                "use_cache": self.cache is not None,
+            }
+            for job in jobs
+        ]
+        if workers is not None:
+            workers = max(1, min(workers, len(specs)))
+        results: List[CompileJobResult] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_compile_spec_in_worker, spec) for spec in specs]
+            for job, future in zip(jobs, futures):
+                try:
+                    result = future.result()
+                    result.job = job
+                except Exception as exc:  # noqa: BLE001 - isolation is the contract
+                    result = CompileJobResult(
+                        job=job,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_traceback=traceback.format_exc(),
+                    )
+                results.append(result)
+        return results
 
     # ------------------------------------------------------------------ #
     # service-level statistics
     # ------------------------------------------------------------------ #
     @property
     def cache_stats(self) -> CacheStats:
-        """Aggregate cache counters across every job served so far."""
+        """Aggregate cache counters across every job served so far.
+
+        Thread-backend jobs all hit ``self.cache``, so this is the whole
+        story there.  Process-backend jobs run against per-worker caches
+        in other processes; their activity shows up in each job's
+        ``result.stats`` (and in the shared disk store), not here.
+        """
         if self.cache is None:
             return CacheStats()
         return self.cache.stats.snapshot()
+
+
+# ---------------------------------------------------------------------- #
+# process-backend worker (module level so it pickles)
+# ---------------------------------------------------------------------- #
+
+#: Per-worker-process caches, keyed by cache directory, so every job a
+#: worker serves shares one in-memory tier (fronting the shared disk
+#: store when a directory is configured).
+_WORKER_CACHES: Dict[str, AllocationCache] = {}
+
+
+def _worker_cache(cache_dir: Optional[str]) -> AllocationCache:
+    """The (per-process) shared cache for ``cache_dir``."""
+    key = cache_dir or ""
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        store = DiskCacheStore(cache_dir) if cache_dir else None
+        cache = AllocationCache(store=store)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+def _compile_spec_in_worker(spec: Dict) -> CompileJobResult:
+    """Compile one job spec inside a pool worker.
+
+    Job-level failures are captured in the returned result (mirroring
+    :meth:`CompileService.compile`); only infrastructure failures — a
+    spec that cannot be rebuilt, say — surface as exceptions, which the
+    parent folds into the job's result.
+    """
+    job = CompileJob.from_spec(spec)
+    cache = _worker_cache(spec.get("cache_dir")) if spec.get("use_cache", True) else None
+    service = CompileService(cache=cache, use_cache=cache is not None)
+    return service.compile(job)
 
 
 def compile_batch(
     jobs: Sequence[CompileJob],
     cache: Optional[AllocationCache] = None,
     max_workers: Optional[int] = None,
+    backend: str = "thread",
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[CompileJobResult]:
-    """Convenience wrapper: run one batch through a fresh service."""
-    service = CompileService(cache=cache, max_workers=max_workers)
+    """Convenience wrapper: run one batch through a fresh service.
+
+    Args:
+        jobs: The compile requests.
+        cache: Shared allocation cache (thread backend only; mutually
+            exclusive with ``cache_dir``).
+        max_workers: Pool width (None lets ``concurrent.futures`` choose).
+        backend: ``"thread"`` or ``"process"`` — see
+            :class:`CompileService` for the sharing contract.
+        cache_dir: Persistent cache directory shared across threads,
+            worker processes and future invocations.
+    """
+    service = CompileService(
+        cache=cache, max_workers=max_workers, backend=backend, cache_dir=cache_dir
+    )
     return service.compile_batch(jobs)

@@ -145,3 +145,29 @@ class TestCompileBatchCLI:
                      "--no-cache"])
         assert code == 0
         assert "0 hits / 0 lookups" in capsys.readouterr().out
+
+    def test_cli_zero_models_is_a_usage_error(self, capsys):
+        """Regression: no models must fail loudly, not silently succeed."""
+        code = main(["compile-batch"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "at least one model" in captured.err
+        assert "usage:" in captured.err
+
+    def test_parser_accepts_cache_dir_and_backend(self):
+        args = build_parser().parse_args(
+            ["compile-batch", "tiny-cnn", "--cache-dir", "/tmp/x",
+             "--backend", "process"]
+        )
+        assert args.cache_dir == "/tmp/x" and args.backend == "process"
+
+    def test_cli_cache_dir_warm_start(self, tmp_path, capsys):
+        """Two invocations on one --cache-dir: the second solves nothing."""
+        argv = ["compile-batch", "tiny-mlp", "--hardware", "small-test-chip",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "disk store:" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "total allocator solves: 0" in second

@@ -1,0 +1,336 @@
+"""Tests for the persistent disk cache store and the process compile backend.
+
+Covers the ISSUE-2 acceptance surface: disk warm starts with zero
+allocator solves, corruption tolerance, version-mismatch rejection,
+eviction under a tiny size budget, concurrent same-key writers from two
+processes, and thread/process backend result parity.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    AllocationCache,
+    CacheEntry,
+    CMSwitchCompiler,
+    CompilerOptions,
+    DiskCacheStore,
+)
+from repro.core.cache import AllocationCacheKey
+from repro.core.store import FORMAT_VERSION, key_digest
+from repro.cost.arithmetic import profile_graph
+from repro.service import CompileJob, CompileService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _synthetic_key(**overrides) -> AllocationCacheKey:
+    """A structurally plausible key without running the profiler."""
+    fields = dict(
+        hardware="feedfacefeedface",
+        segment=(("linear", 1024, 32, 32, 1024, 1024, 32, 0, True, 1, 32, 32),),
+        engine="milp",
+        pipelined=True,
+        refine=True,
+        allow_memory_mode=True,
+        reserve_arrays=0,
+    )
+    fields.update(overrides)
+    return AllocationCacheKey(**fields)
+
+
+def _entry(allocations=((2, 1), (3, 0)), latency=123.5, solver="milp") -> CacheEntry:
+    return CacheEntry(
+        allocations=tuple(tuple(pair) for pair in allocations),
+        latency_cycles=latency,
+        feasible=True,
+        solver=solver,
+    )
+
+
+def _entry_file(store: DiskCacheStore, key: AllocationCacheKey) -> Path:
+    digest = key_digest(key)
+    return store.root / digest[:2] / f"{digest}.json"
+
+
+class TestDiskCacheStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        key, entry = _synthetic_key(), _entry()
+        assert store.get(key) is None
+        store.put(key, entry)
+        assert store.get(key) == entry
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert len(store) == 1
+
+    def test_digest_is_stable_across_instances(self, tmp_path):
+        key = _synthetic_key()
+        assert key_digest(key) == key_digest(_synthetic_key())
+        assert key_digest(key) != key_digest(_synthetic_key(engine="greedy"))
+
+    def test_infeasible_entry_roundtrip(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        key = _synthetic_key()
+        entry = CacheEntry(
+            allocations=(), latency_cycles=float("inf"), feasible=False, solver="infeasible"
+        )
+        store.put(key, entry)
+        got = store.get(key)
+        assert got is not None and not got.feasible
+        assert got.latency_cycles == float("inf")
+
+    def test_corrupted_entry_is_miss_not_crash(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        key = _synthetic_key()
+        store.put(key, _entry())
+        _entry_file(store, key).write_text("{ this is not json", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats.corrupt_entries == 1
+        # The store recovers: a fresh put repairs the entry.
+        store.put(key, _entry())
+        assert store.get(key) == _entry()
+
+    def test_type_mangled_entry_is_miss(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        key = _synthetic_key()
+        store.put(key, _entry())
+        path = _entry_file(store, key)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["entry"]["allocations"] = "not-a-list-of-pairs"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats.corrupt_entries == 1
+
+    def test_newer_version_rejected_and_left_in_place(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        key = _synthetic_key()
+        store.put(key, _entry())
+        path = _entry_file(store, key)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats.version_rejections == 1
+        # A newer writer's file must survive an older reader.
+        assert path.exists()
+
+    def test_foreign_key_payload_is_miss(self, tmp_path):
+        """A file whose stored key disagrees with its name is never served."""
+        store = DiskCacheStore(tmp_path)
+        key, other = _synthetic_key(), _synthetic_key(reserve_arrays=3)
+        store.put(other, _entry())
+        source = _entry_file(store, other)
+        target = _entry_file(store, key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(source.read_bytes())  # entry copied to the wrong name
+        assert store.get(key) is None
+
+    def test_eviction_under_tiny_budget(self, tmp_path):
+        entry = _entry()
+        probe = DiskCacheStore(tmp_path / "probe")
+        probe.put(_synthetic_key(), entry)
+        entry_bytes = probe.total_bytes()
+
+        store = DiskCacheStore(tmp_path / "store", max_bytes=2 * entry_bytes)
+        for reserve in range(6):
+            store.put(_synthetic_key(reserve_arrays=reserve), entry)
+        assert store.stats.evictions > 0
+        assert store.total_bytes() <= store.max_bytes
+        assert len(store) <= 2
+        # The newest entry survives (eviction is oldest-first).
+        assert store.get(_synthetic_key(reserve_arrays=5)) == entry
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCacheStore(tmp_path, max_bytes=0)
+
+    def test_clear(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(_synthetic_key(), _entry())
+        store.clear()
+        assert len(store) == 0 and store.total_bytes() == 0
+        assert store.get(_synthetic_key()) is None
+
+
+class TestTwoTierCache:
+    def test_disk_warm_start_compiles_with_zero_solves(self, small_chip, tiny_cnn_graph, tmp_path):
+        """Acceptance: a cold process pointed at a warmed dir does 0 solves."""
+        options = CompilerOptions(generate_code=False)
+        warm_writer = AllocationCache(store=DiskCacheStore(tmp_path))
+        cold = CMSwitchCompiler(small_chip, options, cache=warm_writer).compile(tiny_cnn_graph)
+        assert cold.stats["allocator_solves"] > 0
+
+        # A fresh cache + store simulates a brand-new process.
+        fresh = AllocationCache(store=DiskCacheStore(tmp_path))
+        warm = CMSwitchCompiler(small_chip, options, cache=fresh).compile(tiny_cnn_graph)
+        assert warm.stats["allocator_solves"] == 0
+        assert fresh.stats.disk_hits > 0
+        assert warm.end_to_end_cycles == cold.end_to_end_cycles
+        assert [s.allocations for s in warm.segments] == [
+            s.allocations for s in cold.segments
+        ]
+
+    def test_disk_hits_promote_into_memory(self, small_chip, tiny_mlp_graph, tmp_path):
+        profiles = profile_graph(tiny_mlp_graph)
+        options = dict(engine="milp", pipelined=True, refine=True,
+                       allow_memory_mode=True, reserve_arrays=0)
+        key = AllocationCache.make_key(profiles, small_chip, **options)
+        DiskCacheStore(tmp_path).put(key, _entry(allocations=tuple((1, 0) for _ in profiles)))
+
+        reader = AllocationCache(store=DiskCacheStore(tmp_path))
+        assert reader.lookup(key, list(profiles)) is not None
+        assert reader.stats.disk_hits == 1
+        # Second lookup is served by the promoted in-memory entry.
+        assert reader.lookup(key, list(profiles)) is not None
+        assert reader.stats.disk_hits == 1 and reader.stats.hits == 2
+
+    def test_cross_mode_hit_from_disk(self, small_chip, tiny_mlp_graph, tmp_path):
+        """A memory-free dual-mode entry on disk serves a fixed-mode lookup."""
+        profiles = profile_graph(tiny_mlp_graph)
+        base = dict(engine="milp", pipelined=True, refine=True, reserve_arrays=0)
+        dual_key = AllocationCache.make_key(profiles, small_chip, allow_memory_mode=True, **base)
+        DiskCacheStore(tmp_path).put(dual_key, _entry(allocations=tuple((2, 0) for _ in profiles)))
+
+        reader = AllocationCache(store=DiskCacheStore(tmp_path))
+        fixed_key = AllocationCache.make_key(profiles, small_chip, allow_memory_mode=False, **base)
+        hit = reader.lookup(fixed_key, list(profiles))
+        assert hit is not None and hit.from_cache
+        assert reader.stats.cross_mode_hits == 1 and reader.stats.disk_hits == 1
+
+    def test_corrupt_store_never_breaks_a_compile(self, small_chip, tiny_cnn_graph, tmp_path):
+        options = CompilerOptions(generate_code=False)
+        writer = AllocationCache(store=DiskCacheStore(tmp_path))
+        CMSwitchCompiler(small_chip, options, cache=writer).compile(tiny_cnn_graph)
+        for path in Path(tmp_path).glob("*/*.json"):
+            path.write_text("garbage", encoding="utf-8")
+        fresh = AllocationCache(store=DiskCacheStore(tmp_path))
+        program = CMSwitchCompiler(small_chip, options, cache=fresh).compile(tiny_cnn_graph)
+        assert program.stats["allocator_solves"] > 0  # re-solved, not crashed
+        assert fresh.store.stats.corrupt_entries > 0
+
+
+def _hammer_store(root: str, reserve: int, rounds: int) -> None:
+    """Worker: repeatedly write (and read back) one key in a shared store."""
+    store = DiskCacheStore(root)
+    key = _synthetic_key(reserve_arrays=reserve)
+    entry = _entry()
+    for _ in range(rounds):
+        store.put(key, entry)
+        got = store.get(key)
+        assert got is None or got == entry
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key(self, tmp_path):
+        """Racing writers of the same key leave one complete, correct entry."""
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_hammer_store, args=(str(tmp_path), 0, 25))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        store = DiskCacheStore(tmp_path)
+        assert store.get(_synthetic_key(reserve_arrays=0)) == _entry()
+        assert len(store) == 1
+
+
+class TestProcessBackend:
+    def _jobs(self, small_chip):
+        return [
+            CompileJob("tiny-cnn", hardware=small_chip),
+            CompileJob("no-such-model", hardware=small_chip),
+            CompileJob("tiny-mlp", hardware=small_chip),
+        ]
+
+    def test_bit_identical_to_thread_backend(self, small_chip, tmp_path):
+        """Acceptance: process backend == thread backend, result for result."""
+        jobs = self._jobs(small_chip)
+        thread = CompileService(cache_dir=tmp_path / "t").compile_batch(jobs)
+        process = CompileService(
+            backend="process", cache_dir=tmp_path / "p", max_workers=2
+        ).compile_batch(jobs)
+        assert [r.ok for r in thread] == [r.ok for r in process] == [True, False, True]
+        for t, p in zip(thread, process):
+            assert p.job is t.job  # original job objects restored
+            if not t.ok:
+                assert p.error and p.error_traceback
+                continue
+            assert p.program.end_to_end_cycles == t.program.end_to_end_cycles
+            assert [s.allocations for s in p.program.segments] == [
+                s.allocations for s in t.program.segments
+            ]
+
+    def test_workers_share_solves_through_disk_store(self, small_chip, tmp_path):
+        service = CompileService(backend="process", cache_dir=tmp_path, max_workers=2)
+        cold = service.compile_batch([CompileJob("tiny-cnn", hardware=small_chip)])
+        assert cold[0].ok and cold[0].stats["allocator_solves"] > 0
+        warm = service.compile_batch(
+            [CompileJob("tiny-cnn", hardware=small_chip) for _ in range(2)]
+        )
+        assert all(r.ok for r in warm)
+        assert sum(r.stats["allocator_solves"] for r in warm) == 0
+
+    def test_graph_jobs_travel_by_serialization(self, small_chip, tiny_mlp_graph):
+        results = CompileService(backend="process", max_workers=1).compile_batch(
+            [CompileJob(tiny_mlp_graph, hardware=small_chip)]
+        )
+        assert results[0].ok
+        assert results[0].job.model is tiny_mlp_graph
+        reference = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False)
+        ).compile(tiny_mlp_graph)
+        assert results[0].program.end_to_end_cycles == reference.end_to_end_cycles
+
+    def test_cache_and_cache_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileService(cache=AllocationCache(), cache_dir=tmp_path)
+
+    def test_explicit_cache_with_store_is_honoured_by_workers(self, small_chip, tmp_path):
+        """Workers pick up the disk store attached to an explicit cache."""
+        cache = AllocationCache(store=DiskCacheStore(tmp_path))
+        service = CompileService(cache=cache, backend="process", max_workers=1)
+        cold = service.compile_batch([CompileJob("tiny-cnn", hardware=small_chip)])
+        assert cold[0].ok and cold[0].stats["allocator_solves"] > 0
+        assert len(cache.store) > 0  # workers wrote through the shared dir
+        fresh_reader = AllocationCache(store=DiskCacheStore(tmp_path))
+        warm = CompileService(cache=fresh_reader).compile_batch(
+            [CompileJob("tiny-cnn", hardware=small_chip)]
+        )
+        assert warm[0].stats["allocator_solves"] == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            CompileService(backend="rocket")
+
+
+class TestCrossProcessWarmStartCLI:
+    def test_second_invocation_does_zero_solves(self, tmp_path):
+        """Acceptance: a second *process* on the same --cache-dir solves nothing."""
+        command = [
+            sys.executable, "-m", "repro.cli", "compile-batch",
+            "tiny-cnn", "--hardware", "small-test-chip",
+            "--cache-dir", str(tmp_path),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        first = subprocess.run(
+            command, capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300
+        )
+        assert first.returncode == 0, first.stderr
+        second = subprocess.run(
+            command, capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300
+        )
+        assert second.returncode == 0, second.stderr
+        assert "total allocator solves: 0" in second.stdout
