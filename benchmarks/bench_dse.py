@@ -1,0 +1,124 @@
+"""Benchmark: cache-aware design-space exploration (repro.dse).
+
+The DSE engine's value proposition is that exploring a design space a
+*second* time — after a restart, a widened sweep, or on another machine
+sharing the cache directory — costs almost nothing: the planner probes
+the persistent allocation store, schedules warm points first, and every
+solve the first run performed is a disk hit in the second.
+
+The module doubles as a CI smoke script::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py --quick
+
+which runs a small (model x array count x mode split) space twice
+against one cache directory — a cold pass and a fresh-runner warm pass —
+asserts the warm pass performs **zero** allocator solves with every
+canonical job planned warm, and writes the measured numbers to
+``BENCH_dse.json`` for the performance-trajectory archive.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.dse import DesignSpace, DSERunner
+from repro.hardware import small_test_chip
+from repro.models import Workload
+
+
+def _quick_space() -> DesignSpace:
+    """A tiny but non-trivial space: 2 models x 3 array counts x 2 modes."""
+    return DesignSpace(
+        models=["tiny-cnn", "tiny-mlp"],
+        base_hardware=small_test_chip(),
+        workloads=[Workload(batch_size=1, seq_len=16)],
+        hardware_axes={"num_arrays": [4, 6, 8]},
+        option_axes={"allow_memory_mode": [True, False]},
+    )
+
+
+def _run_twice(cache_dir):
+    """Cold run + fresh-runner warm run against one cache directory."""
+    cold = DSERunner(_quick_space(), strategy="grid", cache_dir=cache_dir).run()
+    warm = DSERunner(_quick_space(), strategy="grid", cache_dir=cache_dir).run()
+    return cold, warm
+
+
+@pytest.mark.benchmark(group="dse")
+def test_dse_warm_planning_speedup(benchmark, tmp_path_factory):
+    """Second exploration of an overlapping space performs ~0 solves."""
+    cache_dir = tmp_path_factory.mktemp("dse-cache")
+
+    def run():
+        return _run_twice(cache_dir)
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"pass": "cold", "solves": cold.allocator_solves, "wall": cold.wall_seconds},
+        {"pass": "warm", "solves": warm.allocator_solves, "wall": warm.wall_seconds},
+    ]
+    record(benchmark, rows, "")
+    assert cold.allocator_solves > 0
+    assert warm.allocator_solves == 0
+    assert warm.cold_planned == 0
+
+
+def _quick_smoke(cache_dir=None, json_out="BENCH_dse.json") -> int:
+    """CI smoke: warm-planning speedup of a second overlapping exploration."""
+    import tempfile
+
+    from conftest import write_bench_record
+
+    with tempfile.TemporaryDirectory(prefix="bench-dse-") as tmp:
+        cold, warm = _run_twice(cache_dir or f"{tmp}/cache")
+        speedup = cold.wall_seconds / warm.wall_seconds if warm.wall_seconds else float("inf")
+        print(
+            "dse smoke (cache-aware planning, second run of an overlapping space):\n"
+            f"  cold run : {cold.wall_seconds:.3f} s ({cold.allocator_solves} solves, "
+            f"{cold.evaluated} evaluated, {cold.replicated} replicated, "
+            f"{cold.warm_planned} planned warm)\n"
+            f"  warm run : {warm.wall_seconds:.3f} s ({warm.allocator_solves} solves, "
+            f"{warm.disk_hits} disk hits, {warm.warm_planned} planned warm)\n"
+            f"  speedup  : {speedup:.1f}x"
+        )
+        write_bench_record(
+            "dse_warm_planning_quick",
+            json_out,
+            cold_seconds=cold.wall_seconds,
+            warm_seconds=warm.wall_seconds,
+            speedup=speedup,
+            allocator_solves_cold=cold.allocator_solves,
+            allocator_solves_warm=warm.allocator_solves,
+            disk_hits_warm=warm.disk_hits,
+            points_evaluated=cold.evaluated,
+            points_replicated=cold.replicated,
+            warm_planned_warm_run=warm.warm_planned,
+            cold_planned_warm_run=warm.cold_planned,
+        )
+        if warm.allocator_solves != 0 or cold.allocator_solves == 0:
+            print("FAIL: warm exploration did not reuse the cold run's solves")
+            return 1
+        if warm.cold_planned != 0:
+            print("FAIL: planner did not recognise the warm candidates")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run the CI smoke")
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent allocation-cache directory"
+    )
+    parser.add_argument(
+        "--json-out",
+        default="BENCH_dse.json",
+        help="machine-readable result record ('' disables)",
+    )
+    cli_args, _ = parser.parse_known_args()
+    if not cli_args.quick:
+        parser.error("bench_dse.py currently only supports --quick (or run via pytest)")
+    sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir, json_out=cli_args.json_out))

@@ -47,8 +47,15 @@ def test_fig18_compilation_overhead(benchmark, chip, grids):
     assert by_model["llama2-7b"] <= by_model["resnet18"] * 2.0
 
 
-def _quick_smoke(cache_dir=None) -> int:
-    """CI smoke: cold/warm compile with a shared cache; print hit rate."""
+def _quick_smoke(cache_dir=None, json_out="BENCH_fig18.json") -> int:
+    """CI smoke: cold/warm compile with a shared cache; print hit rate.
+
+    Besides the human-readable report, the measured numbers are written
+    to ``json_out`` as a machine-readable ``BENCH_*.json`` record so CI
+    can archive the performance trajectory across commits.
+    """
+    from conftest import write_bench_record
+
     from repro.experiments.compile_time import cached_compile_speedup
 
     stats = cached_compile_speedup(cache_dir=cache_dir)
@@ -62,6 +69,7 @@ def _quick_smoke(cache_dir=None) -> int:
         f"  cache hit rate (warm): {100.0 * stats['warm_hit_rate']:.1f}%\n"
         f"  speedup   : {stats['speedup']:.1f}x"
     )
+    write_bench_record("fig18_compile_time_quick", json_out, **stats)
     # The warm pass must reuse the cold pass's solves; anything less than a
     # near-total hit rate signals a cache-key regression.
     if stats["warm_hit_rate"] < 0.95 or stats["allocator_solves_warm"] > stats[
@@ -81,7 +89,12 @@ if __name__ == "__main__":
     parser.add_argument(
         "--cache-dir", default=None, help="persistent allocation-cache directory"
     )
+    parser.add_argument(
+        "--json-out",
+        default="BENCH_fig18.json",
+        help="machine-readable result record ('' disables)",
+    )
     cli_args, _ = parser.parse_known_args()
     if cli_args.quick:
-        sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir))
+        sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir, json_out=cli_args.json_out))
     print(render_report(measure_compile_time()))

@@ -57,3 +57,27 @@ def record(benchmark, rows, report: str = "") -> None:
     if report:
         print()
         print(report)
+
+
+def write_bench_record(name: str, path: str, **fields) -> None:
+    """Write a machine-readable ``BENCH_*.json`` result record.
+
+    Shared by the ``--quick`` smoke modes so every benchmark emits the
+    same envelope (benchmark name, timestamp, Python version) and a
+    schema change lands in one place.  ``path`` may be empty to disable.
+    """
+    import json
+    import platform
+    import time
+
+    if not path:
+        return
+    payload = {
+        "benchmark": name,
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        **fields,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"  record   : {path}")

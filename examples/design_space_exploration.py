@@ -2,30 +2,35 @@
 """Design-space exploration with the dual-mode hardware abstraction.
 
 Because the compiler only sees the chip through the DEHA parameters, it
-doubles as a quick architecture-exploration tool: sweep the array count,
-array size or mode-switch latency and watch how the optimal
-compute/memory split and the achievable latency move.  This example
+doubles as an architecture-exploration tool: sweep the array count, the
+mode split or the workload and watch how the optimal compute/memory
+split and the achievable latency move.  This example drives the
+first-class DSE engine (:mod:`repro.dse`) instead of hand-rolled loops:
 
-* reproduces the motivation sweep (how the best compute-mode ratio differs
-  between ResNet-50 and LLaMA 2, Fig. 1(b)),
+* reproduces the motivation sweep (how the best compute-mode ratio
+  differs between ResNet-50 and LLaMA 2, Fig. 1(b)),
 * compares the DynaPlasia-like target against a PRIME-like ReRAM chip
   (the §5.5 scalability study),
-* sweeps the number of dual-mode arrays to show where extra arrays stop
-  paying off for a fixed workload.
+* explores a (array count x mode split) design space for ResNet-18 with
+  the grid strategy and prints the latency/energy/arrays Pareto
+  frontier — every design point shares the two-tier allocation cache,
+  so the fixed-mode pass reuses dual-mode solves and re-running the
+  exploration is nearly free.
 
 Run with ``python examples/design_space_exploration.py``.  Pass a
 directory as the first argument to persist the allocation cache there:
 re-running the script (or widening the sweep, or fanning it out across
-processes) then reuses every solve the previous run already did.
+processes) then reuses every solve the previous run already did, and the
+DSE planner schedules the warm points first.
 """
 
 import sys
 
-from repro.analysis import compiled_array_sweep, mode_ratio_sweep
+from repro.analysis import mode_ratio_sweep
 from repro.baselines import CIMMLCCompiler
-from repro.core import AllocationCache, CMSwitchCompiler, CompilerOptions
+from repro.dse import DesignSpace, DSERunner
 from repro.experiments import prime_scalability
-from repro.hardware import dynaplasia, prime
+from repro.hardware import dynaplasia
 from repro.models import Phase, Workload, build_model
 
 
@@ -49,30 +54,39 @@ def prime_comparison() -> None:
     print()
 
 
-def array_count_sweep(cache_dir=None) -> None:
-    """How latency scales with the number of dual-mode arrays.
+def array_count_exploration(cache_dir=None) -> None:
+    """Explore (array count x mode split) for ResNet-18 with repro.dse.
 
-    The whole sweep shares one allocation cache, so every design point's
-    fixed-mode fallback pass reuses the dual-mode MILP solves and a
-    re-run of the sweep (the typical DSE iteration loop) is nearly free.
-    With a ``cache_dir`` the cache is disk-backed and the reuse survives
-    across script invocations and processes.
+    The whole space runs through one :class:`DSERunner`: the planner
+    collapses structurally identical candidates, probes the persistent
+    store so warm points are compiled first, and every point's
+    fixed-mode fallback pass reuses the dual-mode MILP solves through
+    the shared allocation cache.  With a ``cache_dir`` the reuse
+    survives across script invocations and processes.
     """
-    from repro.core import DiskCacheStore
-
     graph = build_model("resnet18", Workload(batch_size=1))
-    store = DiskCacheStore(cache_dir) if cache_dir else None
-    cache = AllocationCache(store=store)
-    print("ResNet-18 latency vs. number of dual-mode arrays (DynaPlasia-like):")
-    rows = compiled_array_sweep(graph, dynaplasia(), (32, 64, 96, 128, 192), cache=cache)
-    for row in rows:
-        hardware = dynaplasia(num_arrays=row["num_arrays"])
+    space = DesignSpace(
+        models=[graph],
+        base_hardware=dynaplasia(),
+        hardware_axes={"num_arrays": [32, 64, 96, 128, 192]},
+        option_axes={"allow_memory_mode": [True, False]},
+    )
+    runner = DSERunner(space, strategy="grid", objective="latency", cache_dir=cache_dir)
+    result = runner.run()
+
+    print("ResNet-18 design space (DynaPlasia-like base, CMSwitch vs CIM-MLC):")
+    for record in result.records:
+        if not record.allow_memory_mode or not record.feasible:
+            continue
+        hardware = dynaplasia(num_arrays=record.num_arrays)
         mlc = CIMMLCCompiler(hardware).compile(graph)
-        print(f"  {row['num_arrays']:4d} arrays: CMSwitch {row['ms']:7.3f} ms, "
+        print(f"  {record.num_arrays:4d} arrays: CMSwitch {record.latency_ms:7.3f} ms, "
               f"CIM-MLC {mlc.end_to_end_ms:7.3f} ms "
-              f"({mlc.end_to_end_cycles / row['cycles']:.2f}x, "
-              f"cache hit rate {100 * row['cache_hit_rate']:.0f}%)")
-    print(f"  allocation cache: {cache.stats.hits} hits / {cache.stats.lookups} lookups")
+              f"({mlc.end_to_end_cycles / record.cycles:.2f}x, "
+              f"{record.allocator_solves} solves, {record.disk_hits} disk hits)")
+    print()
+    print(result.render_report())
+    print(result.summary())
     print()
 
 
@@ -80,7 +94,7 @@ def main() -> None:
     cache_dir = sys.argv[1] if len(sys.argv) > 1 else None
     motivation_sweep()
     prime_comparison()
-    array_count_sweep(cache_dir)
+    array_count_exploration(cache_dir)
 
 
 if __name__ == "__main__":

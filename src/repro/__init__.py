@@ -29,6 +29,7 @@ Sub-packages:
 * :mod:`repro.baselines` -- PUMA / OCC / CIM-MLC baseline compilers
 * :mod:`repro.sim` -- functional and timing simulators
 * :mod:`repro.analysis`, :mod:`repro.experiments` -- paper figure/table harness
+* :mod:`repro.dse` -- cache-aware design-space exploration engine
 """
 
 from .core.cache import AllocationCache
@@ -39,7 +40,7 @@ from .hardware import DualModeHardwareAbstraction, dynaplasia, get_preset, prime
 from .models import Phase, Workload, build_model, list_models
 from .service import CompileJob, CompileJobResult, CompileService, compile_batch
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AllocationCache",

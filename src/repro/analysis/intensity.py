@@ -118,7 +118,15 @@ def intensity_vs_sequence_length(
 def model_intensity_comparison(
     models: Sequence[str], workload: Workload | None = None
 ) -> Dict[str, float]:
-    """Average arithmetic intensity of several models (Fig. 5(c))."""
+    """Average arithmetic intensity of several models (Fig. 5(c)).
+
+    Raises:
+        ValueError: If ``models`` is empty — an empty comparison is
+            always a caller bug (a mistyped flag, an empty sweep list)
+            and silently returning ``{}`` hides it.
+    """
+    if not models:
+        raise ValueError("model_intensity_comparison requires at least one model name")
     workload = workload or Workload(batch_size=1, seq_len=64)
     comparison: Dict[str, float] = {}
     for name in models:

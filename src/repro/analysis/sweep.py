@@ -11,7 +11,9 @@ the best split — the quantity plotted in Fig. 1(b); the 2-D variant over
 :func:`compiled_array_sweep` complements the analytical sweeps with a
 full-compiler design-space exploration: the same graph is compiled for a
 family of hardware variants with one shared allocation cache, so repeated
-structural sub-problems are solved once across the whole sweep.
+structural sub-problems are solved once across the whole sweep.  It is a
+compatibility façade over :mod:`repro.dse` — the first-class DSE engine
+with search strategies, resumable run directories and Pareto reporting.
 """
 
 from __future__ import annotations
@@ -22,8 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.cache import AllocationCache
-from ..core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError
-from ..core.store import DiskCacheStore
+from ..core.compiler import CompilerOptions
 from ..cost.arithmetic import OperatorProfile, profile_graph
 from ..cost.latency import OperatorAllocation, operator_latency_cycles  # noqa: F401  (re-exported for users)
 from ..hardware.deha import DualModeHardwareAbstraction
@@ -85,15 +86,48 @@ class ModeRatioSweep:
 
     @property
     def normalized_performance(self) -> List[float]:
-        """Performance (1/latency) normalised to the best ratio (Fig. 1(b))."""
-        best = min(lat for lat in self.latencies if np.isfinite(lat))
+        """Performance (1/latency) normalised to the best ratio (Fig. 1(b)).
+
+        Raises:
+            ValueError: If no sampled ratio has a finite latency.
+        """
+        finite = [lat for lat in self.latencies if np.isfinite(lat)]
+        if not finite:
+            raise ValueError(
+                f"mode-ratio sweep of {self.model!r} has no feasible sample "
+                "(every latency is non-finite)"
+            )
+        best = min(finite)
         return [best / lat if np.isfinite(lat) and lat > 0 else 0.0 for lat in self.latencies]
 
     @property
     def best_ratio(self) -> float:
-        """Compute-mode ratio achieving the best performance."""
-        index = int(np.argmin(self.latencies))
-        return self.ratios[index]
+        """Compute-mode ratio achieving the best performance.
+
+        Non-finite samples (infeasible splits, NaN guards) are ignored.
+        Ties break toward the *lowest* compute ratio: the same
+        performance for fewer compute-mode arrays, mirroring
+        :func:`repro.core.compiler.choose_plan`'s fewer-arrays tie rule.
+
+        Raises:
+            ValueError: If no sampled ratio has a finite latency.
+        """
+        best_ratio = None
+        best_latency = np.inf
+        for ratio, latency in zip(self.ratios, self.latencies):
+            if not np.isfinite(latency):
+                continue
+            if latency < best_latency or (
+                latency == best_latency and best_ratio is not None and ratio < best_ratio
+            ):
+                best_latency = latency
+                best_ratio = ratio
+        if best_ratio is None:
+            raise ValueError(
+                f"mode-ratio sweep of {self.model!r} has no feasible sample "
+                "(every latency is non-finite)"
+            )
+        return best_ratio
 
 
 def mode_ratio_sweep(
@@ -159,15 +193,18 @@ def compiled_array_sweep(
 ) -> List[Dict]:
     """Compile ``graph`` for a family of array counts (DSE with a cache).
 
-    Unlike the analytical sweeps above, every design point runs the full
-    CMSwitch pipeline (DP segmentation + MILP allocation + fixed-mode
-    fallback).  All points share one :class:`AllocationCache`: each
-    point's fixed-mode pass reuses its dual-mode solves, and re-running
-    the sweep — the common DSE loop — hits the cache outright.  With a
-    ``cache_dir`` the cache is disk-backed, so the reuse extends across
-    processes and invocations: restarting a sweep, widening its range,
-    or fanning design points out to worker processes re-pays nothing for
-    the sub-problems any earlier run already solved.
+    This is the legacy array-count sweep, now a thin façade over
+    :mod:`repro.dse`: the array counts become a one-axis
+    :class:`~repro.dse.space.DesignSpace`, a grid-strategy
+    :class:`~repro.dse.runner.DSERunner` evaluates it (structural
+    duplicates collapse to one compile, warm points are scheduled
+    first), and the records are rendered back into the historical row
+    format.  With a ``cache_dir`` the reuse extends across processes and
+    invocations — restarting a sweep, widening its range, or fanning
+    design points out to worker processes re-pays nothing for the
+    sub-problems any earlier run already solved.  For new code prefer
+    :func:`repro.dse.run_dse`, which adds strategies, resumable run
+    directories and Pareto reporting on top.
 
     Args:
         cache: Shared allocation cache (mutually exclusive with
@@ -176,45 +213,55 @@ def compiled_array_sweep(
             :class:`~repro.core.store.DiskCacheStore` backing the cache.
 
     Returns:
-        One row per array count with ``num_arrays``, ``feasible``,
-        ``cycles``, ``ms``, ``num_segments``, ``allocator_solves`` and
-        ``cache_hit_rate``.  A design point too small for the workload
-        (the boundary a DSE sweep exists to find) is reported as an
-        infeasible row (``cycles == inf``) rather than aborting the sweep.
+        One row per array count (input order) with ``num_arrays``,
+        ``feasible``, ``cycles``, ``ms``, ``num_segments``,
+        ``allocator_solves`` and ``cache_hit_rate``.  A design point too
+        small for the workload (the boundary a DSE sweep exists to find)
+        is reported as an infeasible row (``cycles == inf``) rather than
+        aborting the sweep.
     """
+    from ..dse import DesignSpace, DSERunner
+
     if cache is not None and cache_dir is not None:
         raise ValueError("pass either cache or cache_dir, not both")
-    if cache is None:
-        store = DiskCacheStore(cache_dir) if cache_dir else None
-        cache = AllocationCache(store=store)
-    options = options or CompilerOptions(generate_code=False)
+    space = DesignSpace(
+        models=[graph],
+        base_hardware=base_hardware,
+        hardware_axes={"num_arrays": [int(count) for count in array_counts]},
+        base_options=options or CompilerOptions(generate_code=False),
+    )
+    runner = DSERunner(
+        space, strategy="grid", objective="latency", cache=cache, cache_dir=cache_dir
+    )
+    result = runner.run()
+    by_coords = {record.coords: record for record in result.records}
     rows: List[Dict] = []
-    for num_arrays in array_counts:
-        hardware = base_hardware.with_overrides(num_arrays=int(num_arrays))
-        try:
-            program = CMSwitchCompiler(hardware, options, cache=cache).compile(graph)
-        except (NoFeasiblePlanError, RuntimeError):
-            rows.append(
-                {
-                    "num_arrays": int(num_arrays),
-                    "feasible": False,
-                    "cycles": float("inf"),
-                    "ms": float("inf"),
-                    "num_segments": 0,
-                    "allocator_solves": 0,
-                    "cache_hit_rate": 0.0,
-                }
+    for coords in space.coordinates():
+        record = by_coords[coords]
+        if record.failed and not (record.error or "").startswith("RuntimeError:"):
+            # Historical contract: only NoFeasiblePlanError/RuntimeError
+            # become infeasible rows; genuine bugs (TypeError from bad
+            # options, a crashed worker) must propagate, not masquerade
+            # as a too-small chip.
+            raise RuntimeError(
+                f"compiled_array_sweep failed at num_arrays="
+                f"{record.num_arrays}: {record.error}"
             )
-            continue
+        solve_attempts = record.allocator_solves + record.cache_hits
+        if record.status == "replicated":
+            # Served entirely by a structurally identical point's result.
+            hit_rate = 1.0
+        else:
+            hit_rate = record.cache_hits / solve_attempts if solve_attempts else 0.0
         rows.append(
             {
-                "num_arrays": int(num_arrays),
-                "feasible": True,
-                "cycles": program.end_to_end_cycles,
-                "ms": program.end_to_end_ms,
-                "num_segments": program.num_segments,
-                "allocator_solves": program.stats.get("allocator_solves", 0),
-                "cache_hit_rate": program.stats.get("allocation_cache_hit_rate", 0.0),
+                "num_arrays": record.num_arrays,
+                "feasible": record.feasible,
+                "cycles": record.cycles if record.feasible else float("inf"),
+                "ms": record.latency_ms if record.feasible else float("inf"),
+                "num_segments": record.num_segments,
+                "allocator_solves": record.allocator_solves,
+                "cache_hit_rate": hit_rate,
             }
         )
     return rows

@@ -15,6 +15,11 @@ Installed as ``python -m repro.cli`` (or used programmatically through
 * ``compare`` — compile with CMSwitch and the baselines and print speedups.
 * ``experiment`` — run one of the paper-figure experiments
   (``--cache-dir`` persists allocation solves across runs).
+* ``dse`` — explore a design space (models x workloads x array counts x
+  mode splits) through :mod:`repro.dse`: pluggable search strategies,
+  cache-aware planning, resumable run directories, Pareto reports.
+* ``cache`` — inspect and maintain a persistent allocation-cache
+  directory (``stats`` / ``prune`` / ``clear``).
 
 Examples::
 
@@ -24,12 +29,18 @@ Examples::
     python -m repro.cli compile-batch resnet18 bert --backend process --cache-dir /tmp/ac
     python -m repro.cli compare resnet18 --batch 8
     python -m repro.cli experiment fig14 --batch-sizes 1 8
+    python -m repro.cli dse resnet18 --hardware dynaplasia --arrays 64 96 128 \
+        --modes dual fixed --strategy grid --cache-dir /tmp/ac
+    python -m repro.cli cache stats --cache-dir /tmp/ac
+    python -m repro.cli cache prune --cache-dir /tmp/ac --max-age 7d --max-bytes 64MB
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .baselines import CIMMLCCompiler, OCCCompiler, PUMACompiler
@@ -133,22 +144,27 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
 
     header = (
         f"{'job':16s} {'latency (ms)':>13s} {'segments':>9s} {'solves':>7s} "
-        f"{'cache hits':>11s} {'hit rate':>9s} {'wall (s)':>9s}"
+        f"{'cache hits':>11s} {'disk hits':>10s} {'hit rate':>9s} {'wall (s)':>9s}"
     )
     print(header)
     failures = 0
     total_solves = 0
+    total_disk_hits = 0
     for result in results:
+        stats = result.stats
+        # Failed jobs may still have solved (NoFeasiblePlanError keeps its
+        # pre-failure statistics); the totals must reflect that work.
+        total_solves += stats.get("allocator_solves", 0)
+        total_disk_hits += stats.get("allocation_disk_hits", 0)
         if not result.ok:
             failures += 1
             print(f"{result.job.name:16s} FAILED: {result.error}")
             continue
-        stats = result.stats
-        total_solves += stats.get("allocator_solves", 0)
         print(
             f"{result.job.name:16s} {result.program.end_to_end_ms:13.3f} "
             f"{result.program.num_segments:9d} {stats.get('allocator_solves', 0):7d} "
             f"{stats.get('allocation_cache_hits', 0):11d} "
+            f"{stats.get('allocation_disk_hits', 0):10d} "
             f"{100.0 * stats.get('allocation_cache_hit_rate', 0.0):8.1f}% "
             f"{result.wall_seconds:9.3f}"
         )
@@ -164,9 +180,22 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
                 f"disk store: {disk.hits} hits, {disk.stores} stores, "
                 f"{disk.evictions} evictions ({service.cache.store.root})"
             )
-    # Machine-checkable summary: CI smoke greps this line to assert a
-    # disk-warm second invocation performs zero solves.
+    elif args.cache_dir:
+        # Process workers keep their own store instances; the per-job rows
+        # above carry their disk hits, and the directory itself reports
+        # what the whole fleet left behind.
+        from .core.store import DiskCacheStore
+
+        usage = DiskCacheStore(args.cache_dir).usage()
+        print(
+            f"disk store: {usage['files']} entries, "
+            f"{usage['bytes'] / (1024 * 1024):.1f} MB ({args.cache_dir})"
+        )
+    # Machine-checkable summary: CI smoke greps these lines to assert a
+    # disk-warm second invocation performs zero solves (and that the
+    # warm-start behaviour is visible as disk-tier hits).
     print(f"total allocator solves: {total_solves}")
+    print(f"total disk hits: {total_disk_hits}")
     return 1 if failures else 0
 
 
@@ -246,6 +275,187 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional KB/MB/GB suffix (``"64MB"``)."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([kKmMgG][bB]?|[bB])?\s*", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 1048576, 512KB, 64MB, 2GB)"
+        )
+    value = float(match.group(1))
+    unit = (match.group(2) or "b").lower().rstrip("b")
+    scale = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3}[unit]
+    return int(value * scale)
+
+
+def _parse_age(text: str) -> float:
+    """Parse an age with an optional s/m/h/d suffix (``"7d"``, ``"90m"``).
+
+    Case-insensitive, matching :func:`_parse_size`.
+    """
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([smhdSMHD])?\s*", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r} (expected e.g. 3600, 90m, 12h, 7d)"
+        )
+    unit = (match.group(2) or "s").lower()
+    scale = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}[unit]
+    return float(match.group(1)) * scale
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Explore a design space and print/persist the Pareto report."""
+    from .dse import DesignSpace, DSERunner, RunState, RunStateError, make_strategy
+
+    models = args.models or ["tiny-cnn"]
+    hardware = get_preset(args.hardware)
+    arrays = args.arrays
+    if arrays is None:
+        # A tiny default sweep around the preset, so the bare command
+        # demonstrates the engine without minutes of solves.
+        arrays = sorted({max(1, hardware.num_arrays // 2), hardware.num_arrays})
+    phase = Phase(args.phase) if args.phase else Phase.PREFILL
+    workloads = [
+        Workload(batch_size=batch, seq_len=seq_len, output_len=args.output_len, phase=phase)
+        for batch in args.batch
+        for seq_len in args.seq_len
+    ]
+    option_axes = {}
+    if args.modes:
+        option_axes["allow_memory_mode"] = [mode == "dual" for mode in args.modes]
+    space = DesignSpace(
+        models=models,
+        base_hardware=hardware,
+        workloads=workloads,
+        hardware_axes={"num_arrays": [int(n) for n in arrays]},
+        option_axes=option_axes,
+    )
+
+    run_dir = Path(args.run_dir) if args.run_dir else (
+        Path(args.cache_dir).expanduser() / "_dse" if args.cache_dir else Path("dse-run")
+    )
+    try:
+        state = RunState.open(
+            run_dir,
+            space.to_spec(),
+            space.fingerprint(),
+            objective=args.objective,
+            strategy=args.strategy,
+            resume=args.resume,
+        )
+    except (RunStateError, OSError) as exc:
+        # OSError covers mistyped paths (a run dir that exists as a
+        # regular file, an unwritable parent) — same clean exit as a
+        # state-level refusal, never a raw traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"dse: {space.describe()}, strategy {args.strategy}, "
+        f"objective {args.objective}, run dir {run_dir}"
+    )
+    if state.space_changed:
+        print(
+            "note: resuming with a different design space; overlapping "
+            "points are skipped by key"
+        )
+    if state.completed:
+        print(f"resume: {len(state.completed)} completed point(s) on record")
+
+    with state:
+        runner = DSERunner(
+            space,
+            strategy=make_strategy(args.strategy, seed=args.seed),
+            objective=args.objective,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            max_workers=args.jobs,
+            state=state,
+            seed=args.seed,
+        )
+        result = runner.run(budget=args.budget)
+
+    # Infeasible design points (feasible=False, failed=False) are a
+    # legitimate exploration outcome, not a failure exit.
+    failures = [r for r in result.new_records if r.failed]
+    for record in result.new_records:
+        marker = "ok" if record.feasible else ("ERR" if record.failed else "infeasible")
+        print(
+            f"  {record.model:16s} arrays={record.num_arrays:<5d} "
+            f"{'dual' if record.allow_memory_mode else 'fixed':5s} "
+            f"latency={record.latency_ms:10.3f} ms energy={record.energy_mj:8.3f} mJ "
+            f"solves={record.allocator_solves:4d} disk={record.disk_hits:4d} "
+            f"[{record.status}/{marker}]"
+        )
+
+    report = result.render_report()
+    print(report)
+    report_path = run_dir / "report.txt"
+    report_path.write_text(report + "\n" + result.summary() + "\n", encoding="utf-8")
+    csv_path = result.write_csv(run_dir / "pareto.csv")
+    print(result.summary())
+    print(f"report: {report_path}")
+    print(f"pareto csv: {csv_path}")
+    return 1 if failures else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect / prune / clear a persistent allocation-cache directory."""
+    import time as _time
+
+    from .core.store import DiskCacheStore
+
+    root = Path(args.cache_dir).expanduser()
+    if not root.is_dir():
+        # Constructing the store would mkdir the path — a read-only query
+        # on a mistyped (or non-directory) path must not create or crash.
+        print(f"error: cache directory {root} does not exist", file=sys.stderr)
+        return 2
+    store = DiskCacheStore(root)
+
+    def _print_usage(prefix: str = "") -> None:
+        usage = store.usage()
+        line = (
+            f"{prefix}{usage['files']} entries, "
+            f"{usage['bytes'] / (1024 * 1024):.2f} MB ({store.root})"
+        )
+        print(line)
+        if usage["files"]:
+            now = _time.time()
+            print(
+                f"  oldest entry: {(now - usage['oldest_mtime']) / 3600.0:.2f} h, "
+                f"newest entry: {(now - usage['newest_mtime']) / 3600.0:.2f} h"
+            )
+
+    if args.cache_command == "stats":
+        _print_usage("cache: ")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "error: prune requires --max-bytes and/or --max-age",
+                file=sys.stderr,
+            )
+            return 2
+        outcome = store.prune(max_bytes=args.max_bytes, max_age_seconds=args.max_age)
+        print(
+            f"pruned: {outcome['removed_files']} entries, "
+            f"{outcome['removed_bytes'] / (1024 * 1024):.2f} MB removed; "
+            f"{outcome['remaining_files']} entries, "
+            f"{outcome['remaining_bytes'] / (1024 * 1024):.2f} MB remain"
+        )
+        return 0
+    if args.cache_command == "clear":
+        before = store.usage()
+        store.clear()
+        print(
+            f"cleared: {before['files']} entries, "
+            f"{before['bytes'] / (1024 * 1024):.2f} MB removed ({store.root})"
+        )
+        return 0
+    raise ValueError(f"unknown cache command {args.cache_command!r}")  # pragma: no cover
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -321,6 +531,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent allocation-cache directory reused across experiment runs",
     )
     experiment.set_defaults(func=cmd_experiment)
+
+    dse = sub.add_parser(
+        "dse",
+        help="explore a hardware/allocation design space (cache-aware, resumable)",
+    )
+    dse.add_argument(
+        "models",
+        nargs="*",
+        help="registered model names (default: tiny-cnn, a fast demo space)",
+    )
+    dse.add_argument(
+        "--hardware",
+        default="small-test-chip",
+        choices=sorted(PRESETS),
+        help="base hardware preset the axes override (default: small-test-chip)",
+    )
+    dse.add_argument(
+        "--arrays",
+        type=int,
+        nargs="+",
+        default=None,
+        help="num_arrays axis values (default: half and full preset size)",
+    )
+    dse.add_argument(
+        "--modes",
+        nargs="+",
+        choices=["dual", "fixed"],
+        default=None,
+        help="mode-split axis: dual (memory mode allowed) and/or fixed",
+    )
+    dse.add_argument("--batch", type=int, nargs="+", default=[1], help="batch-size axis")
+    dse.add_argument(
+        "--seq-len", type=int, nargs="+", default=[32], help="sequence-length axis"
+    )
+    dse.add_argument("--output-len", type=int, default=32, help="generated tokens")
+    dse.add_argument(
+        "--phase",
+        choices=[phase.value for phase in Phase],
+        default=None,
+        help="transformer phase for every workload (default: prefill)",
+    )
+    dse.add_argument(
+        "--strategy",
+        choices=["grid", "random", "greedy"],
+        default="grid",
+        help="search strategy (see docs/dse.md)",
+    )
+    dse.add_argument("--seed", type=int, default=0, help="RNG seed for random/greedy")
+    dse.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="max design points to cover this run (default: the whole space)",
+    )
+    dse.add_argument(
+        "--objective",
+        choices=["latency", "energy"],
+        default="latency",
+        help="what adaptive strategies minimise and reports highlight",
+    )
+    dse.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent allocation-cache directory (enables warm-first planning)",
+    )
+    dse.add_argument(
+        "--run-dir",
+        default=None,
+        help="resumable run directory (default: <cache-dir>/_dse, else ./dse-run)",
+    )
+    dse.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the run directory, skipping already-evaluated points",
+    )
+    dse.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="compile-service backend",
+    )
+    dse.add_argument("--jobs", type=int, default=None, help="compile pool width")
+    dse.set_defaults(func=cmd_dse)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain a persistent allocation-cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="show entry count, size and age")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="expire old entries (TTL) and/or shrink to a size budget"
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        help="size budget, oldest entries evicted first (e.g. 64MB)",
+    )
+    cache_prune.add_argument(
+        "--max-age",
+        type=_parse_age,
+        default=None,
+        help="drop entries older than this (e.g. 7d, 12h, 3600)",
+    )
+    cache_clear = cache_sub.add_parser("clear", help="delete every cache entry")
+    for cache_cmd in (cache_stats, cache_prune, cache_clear):
+        cache_cmd.add_argument(
+            "--cache-dir", required=True, help="allocation-cache directory"
+        )
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -54,6 +54,10 @@ class AllocationResult:
         from_cache: Whether the result was served from a shared
             :class:`~repro.core.cache.AllocationCache` instead of a fresh
             solve (used by compile statistics).
+        from_disk: Whether the serving cache tier was the persistent
+            :class:`~repro.core.store.DiskCacheStore` (implies
+            ``from_cache``; lets compile statistics show warm-start
+            behaviour per job).
     """
 
     allocations: Dict[str, OperatorAllocation]
@@ -61,6 +65,7 @@ class AllocationResult:
     feasible: bool
     solver: str
     from_cache: bool = False
+    from_disk: bool = False
 
     @property
     def total_arrays(self) -> int:

@@ -165,8 +165,12 @@ class CacheEntry:
         """Whether the entry uses no memory-mode arrays anywhere."""
         return all(memory == 0 for _, memory in self.allocations)
 
-    def to_result(self, names: Sequence[str]) -> AllocationResult:
-        """Materialise an :class:`AllocationResult` for ``names``."""
+    def to_result(self, names: Sequence[str], from_disk: bool = False) -> AllocationResult:
+        """Materialise an :class:`AllocationResult` for ``names``.
+
+        ``from_disk`` marks results served by the persistent tier so
+        compile statistics can attribute the hit per job.
+        """
         allocations = {
             name: OperatorAllocation(compute_arrays=compute, memory_arrays=memory)
             for name, (compute, memory) in zip(names, self.allocations)
@@ -177,6 +181,7 @@ class CacheEntry:
             feasible=self.feasible,
             solver=self.solver,
             from_cache=True,
+            from_disk=from_disk,
         )
 
     # ------------------------------------------------------------------ #
@@ -379,7 +384,7 @@ class AllocationCache:
                     self.stats.disk_hits += 1
                     if cross_mode:
                         self.stats.cross_mode_hits += 1
-                return entry.to_result(names)
+                return entry.to_result(names, from_disk=True)
         with self._lock:
             self.stats.misses += 1
         return None

@@ -30,9 +30,9 @@ from .codegen import generate_program
 from .segmentation import NetworkSegmenter, SegmentationOptions, SegmentationResult
 
 
-class NoFeasiblePlanError(RuntimeError):
-    """Raised when neither the dual-mode nor the fixed-mode pass finds a
-    feasible plan for a non-empty graph (both plans carry infinite cost)."""
+# Re-exported here (its historical home); defined next to the segmenter,
+# which raises it for unmappable segments.
+from .segmentation import NoFeasiblePlanError  # noqa: E402  (public re-export)
 
 
 @dataclass
@@ -175,20 +175,41 @@ class CMSwitchCompiler:
         fallback_used = False
         allocation_calls = result.allocation_calls
         cache_hits = result.cache_hits
+        disk_hits = result.disk_hits
         if self.options.allow_memory_mode and self.options.fixed_mode_fallback:
             fixed_options = self.options.to_segmentation_options()
             fixed_options.allow_memory_mode = False
-            fixed_result = NetworkSegmenter(
-                self.hardware, fixed_options, cache=self.cache
-            ).segment(graph)
-            allocation_calls += fixed_result.allocation_calls
-            cache_hits += fixed_result.cache_hits
-            result, fallback_used = choose_plan(result, fixed_result)
+            try:
+                fixed_result = NetworkSegmenter(
+                    self.hardware, fixed_options, cache=self.cache
+                ).segment(graph)
+            except NoFeasiblePlanError as exc:
+                # The fallback pass proving fixed-mode infeasible does not
+                # invalidate the dual-mode plan — keep it, and keep the
+                # fallback pass's solver work in the totals.
+                allocation_calls += exc.stats.get("allocator_solves", 0)
+                cache_hits += exc.stats.get("allocation_cache_hits", 0)
+                disk_hits += exc.stats.get("allocation_disk_hits", 0)
+            else:
+                allocation_calls += fixed_result.allocation_calls
+                cache_hits += fixed_result.cache_hits
+                disk_hits += fixed_result.disk_hits
+                result, fallback_used = choose_plan(result, fixed_result)
         final_cost = plan_cost(result)
         if result.segments and not math.isfinite(final_cost):
+            attempts = allocation_calls + cache_hits
             raise NoFeasiblePlanError(
                 f"no feasible execution plan for graph {graph.name!r} on "
-                f"{self.hardware.name!r}: every evaluated plan has infinite cost"
+                f"{self.hardware.name!r}: every evaluated plan has infinite cost",
+                stats={
+                    "allocator_solves": allocation_calls,
+                    "allocation_cache_hits": cache_hits,
+                    "allocation_disk_hits": disk_hits,
+                    "allocation_cache_hit_rate": (
+                        cache_hits / attempts if attempts else 0.0
+                    ),
+                    "wall_seconds": time.perf_counter() - start,
+                },
             )
         meta_program = None
         if self.options.generate_code and result.segments:
@@ -199,6 +220,7 @@ class CMSwitchCompiler:
         stats = {
             "allocator_solves": allocation_calls,
             "allocation_cache_hits": cache_hits,
+            "allocation_disk_hits": disk_hits,
             "allocation_cache_hit_rate": (
                 cache_hits / solve_attempts if solve_attempts else 0.0
             ),

@@ -41,6 +41,30 @@ from .allocation import (
 from .program import SegmentPlan
 
 
+class NoFeasiblePlanError(RuntimeError):
+    """No feasible execution plan exists for a non-empty graph.
+
+    Raised by the segmenter when a required segment cannot be mapped
+    onto the chip (and no fallback applies), and by
+    :class:`~repro.core.compiler.CMSwitchCompiler` when both the
+    dual-mode and the fixed-mode pass carry infinite cost.  Subclasses
+    :class:`RuntimeError`, so historical ``except RuntimeError`` callers
+    keep working.  Infeasibility is a legitimate outcome at a
+    design-space boundary — batch and DSE consumers classify it
+    separately from genuine failures.
+
+    Attributes:
+        stats: Compile statistics accumulated before the failure
+            (allocator solves, cache/disk hits, wall time) — the solver
+            work was real even though no program exists, and batch/DSE
+            accounting must not under-report it.
+    """
+
+    def __init__(self, message: str, stats: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.stats = dict(stats or {})
+
+
 @dataclass
 class SegmentationOptions:
     """Knobs of the segmentation pass.
@@ -210,6 +234,8 @@ class SegmentationResult:
         dp_seconds: Wall-clock time of the DP (allocations included).
         allocation_calls: Fresh allocator solves performed.
         cache_hits: Solves served from the shared allocation cache.
+        disk_hits: Subset of ``cache_hits`` served by the cache's
+            persistent disk tier (warm-start visibility per compile).
     """
 
     segments: List[SegmentPlan]
@@ -217,6 +243,7 @@ class SegmentationResult:
     dp_seconds: float
     allocation_calls: int
     cache_hits: int = 0
+    disk_hits: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -249,6 +276,7 @@ class NetworkSegmenter:
         self._shared_cache = cache
         self.allocation_calls = 0
         self.cache_hits = 0
+        self.disk_hits = 0
 
     # ------------------------------------------------------------------ #
     # allocation memoisation
@@ -276,10 +304,25 @@ class NetworkSegmenter:
                 )
                 if result.from_cache:
                     self.cache_hits += 1
+                    if result.from_disk:
+                        self.disk_hits += 1
                 else:
                     self.allocation_calls += 1
             self._allocation_cache[key] = result
         return self._allocation_cache[key]
+
+    def _stats_payload(self) -> Dict[str, float]:
+        """Solver counters for a :class:`NoFeasiblePlanError` — the work
+        done before an infeasibility still has to be accounted for."""
+        attempts = self.allocation_calls + self.cache_hits
+        return {
+            "allocator_solves": self.allocation_calls,
+            "allocation_cache_hits": self.cache_hits,
+            "allocation_disk_hits": self.disk_hits,
+            "allocation_cache_hit_rate": (
+                self.cache_hits / attempts if attempts else 0.0
+            ),
+        }
 
     def _boundary_reserve(self, units: Sequence[FlattenedUnit], end: int) -> int:
         """Arrays withheld from duplication to buffer live boundary data.
@@ -352,9 +395,10 @@ class NetworkSegmenter:
 
         if best_cost[m] == INFEASIBLE_LATENCY:
             if not self.options.single_segment_fallback:
-                raise RuntimeError(
+                raise NoFeasiblePlanError(
                     f"no feasible segmentation found for graph {graph.name!r} "
-                    f"on {self.hardware.name!r}"
+                    f"on {self.hardware.name!r}",
+                    stats=self._stats_payload(),
                 )
             return self._per_operator_fallback(graph, units, start_time)
 
@@ -370,7 +414,12 @@ class NetworkSegmenter:
         segments = self._build_plans(units, boundaries)
         dp_seconds = time.perf_counter() - start_time
         return SegmentationResult(
-            segments, units, dp_seconds, self.allocation_calls, self.cache_hits
+            segments,
+            units,
+            dp_seconds,
+            self.allocation_calls,
+            self.cache_hits,
+            self.disk_hits,
         )
 
     # ------------------------------------------------------------------ #
@@ -386,9 +435,10 @@ class NetworkSegmenter:
             allocation = self._allocate(units, start, end)
             if not allocation.feasible:
                 names = ", ".join(unit.name for unit in units[start : end + 1])
-                raise RuntimeError(
+                raise NoFeasiblePlanError(
                     f"segment [{names}] cannot be mapped onto "
-                    f"{self.hardware.name!r} ({self.hardware.num_arrays} arrays)"
+                    f"{self.hardware.name!r} ({self.hardware.num_arrays} arrays)",
+                    stats=self._stats_payload(),
                 )
             profiles = self._segment_profiles(units, start, end)
             live = live_elements_at_boundary(units, end) if end + 1 < len(units) else 0
@@ -436,5 +486,10 @@ class NetworkSegmenter:
         segments = self._build_plans(units, boundaries)
         dp_seconds = time.perf_counter() - start_time
         return SegmentationResult(
-            segments, list(units), dp_seconds, self.allocation_calls, self.cache_hits
+            segments,
+            list(units),
+            dp_seconds,
+            self.allocation_calls,
+            self.cache_hits,
+            self.disk_hits,
         )

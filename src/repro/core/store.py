@@ -45,8 +45,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
@@ -65,6 +67,13 @@ FORMAT_VERSION = 1
 #: Default size budget: generous for real sweeps, small enough that a
 #: forgotten cache directory cannot fill a CI disk.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Entry files live at ``<root>/<2-hex-char shard>/<64-hex digest>.json``.
+#: Maintenance (eviction, pruning, clearing) matches *only* this shape, so
+#: foreign files sharing the directory — a DSE run state nested under the
+#: cache dir, editor droppings, a README — are never deleted or counted.
+_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
+_ENTRY_RE = re.compile(r"^[0-9a-f]{64}\.json$")
 
 
 def _key_payload(key: "AllocationCacheKey") -> Dict:
@@ -185,8 +194,28 @@ class DiskCacheStore:
         return self.root / digest[:2] / f"{digest}.json"
 
     def _entry_files(self) -> List[Path]:
-        """Every entry file currently in the store."""
-        return [path for path in self.root.glob("*/*.json") if path.is_file()]
+        """Every entry file currently in the store.
+
+        Only files matching the content-addressed layout are reported —
+        anything else under the directory belongs to someone else and is
+        invisible to store maintenance.
+        """
+        files: List[Path] = []
+        try:
+            shards = list(self.root.iterdir())
+        except OSError:
+            return files
+        for shard in shards:
+            if not _SHARD_RE.match(shard.name) or not shard.is_dir():
+                continue
+            try:
+                children = list(shard.iterdir())
+            except OSError:
+                continue
+            for path in children:
+                if _ENTRY_RE.match(path.name) and path.is_file():
+                    files.append(path)
+        return files
 
     # ------------------------------------------------------------------ #
     # read path
@@ -228,6 +257,19 @@ class DiskCacheStore:
             return None
         self._count("hits")
         return entry
+
+    def contains(self, key: "AllocationCacheKey") -> bool:
+        """Cheap existence probe for ``key`` — no stats side effects.
+
+        Used by the DSE planner to order warm candidates before cold
+        ones.  This is a scheduling heuristic, not a read: the file is
+        not opened, so a corrupt or foreign entry may probe as present
+        (the subsequent real :meth:`get` still degrades it to a miss).
+        """
+        try:
+            return self._entry_path(key_digest(key)).is_file()
+        except OSError:
+            return False
 
     # ------------------------------------------------------------------ #
     # write path
@@ -330,6 +372,105 @@ class DiskCacheStore:
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return len(self._entry_files())
+
+    def usage(self) -> Dict[str, float]:
+        """Current on-disk footprint (rescans the directory).
+
+        Returns:
+            ``{"files", "bytes", "oldest_mtime", "newest_mtime"}`` —
+            the mtimes are 0.0 for an empty store.
+        """
+        files = 0
+        total = 0
+        oldest = newest = 0.0
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files += 1
+            total += stat.st_size
+            oldest = stat.st_mtime if files == 1 else min(oldest, stat.st_mtime)
+            newest = max(newest, stat.st_mtime)
+        with self._lock:
+            self._approx_bytes = total
+        return {
+            "files": files,
+            "bytes": total,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Expire old entries (TTL) and/or shrink to a size budget (GC).
+
+        Both policies are one-shot maintenance passes — the operational
+        complement of the automatic post-write ``max_bytes`` eviction:
+
+        * ``max_age_seconds`` removes every entry whose file mtime is
+          older than ``now - max_age_seconds`` (TTL; cached solves never
+          go *stale* — keys are exact — but an abandoned sweep's entries
+          are dead weight);
+        * ``max_bytes`` then removes oldest-first (mtime LRU) until the
+          store fits the budget.
+
+        Races with concurrent writers/evictors are tolerated the same
+        way eviction tolerates them: a file deleted under our feet
+        simply stops counting.
+
+        Args:
+            now: Reference time for the TTL (default: ``time.time()``).
+
+        Returns:
+            ``{"removed_files", "removed_bytes", "remaining_files",
+            "remaining_bytes"}``.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be non-negative")
+        now = time.time() if now is None else now
+        sized: List[Tuple[float, int, Path]] = []
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            sized.append((stat.st_mtime, stat.st_size, path))
+        sized.sort()  # oldest first
+        remaining = sum(size for _, size, _ in sized)
+        removed_files = 0
+        removed_bytes = 0
+        keep: List[Tuple[float, int, Path]] = []
+        cutoff = now - max_age_seconds if max_age_seconds is not None else None
+        for mtime, size, path in sized:
+            expired = cutoff is not None and mtime < cutoff
+            over_budget = max_bytes is not None and remaining > max_bytes
+            if not (expired or over_budget):
+                keep.append((mtime, size, path))
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                keep.append((mtime, size, path))
+                continue
+            remaining -= size
+            removed_files += 1
+            removed_bytes += size
+        with self._lock:
+            self._approx_bytes = remaining
+            self.stats.evictions += removed_files
+        return {
+            "removed_files": removed_files,
+            "removed_bytes": removed_bytes,
+            "remaining_files": len(keep),
+            "remaining_bytes": remaining,
+        }
 
     def clear(self) -> None:
         """Delete every entry file (the directory itself is kept)."""

@@ -1,0 +1,77 @@
+"""Cache-aware design-space exploration over the dual-mode compiler.
+
+The paper's dual-mode abstraction exists so a compiler can trade CIM
+arrays against memory capacity per workload — which makes hardware and
+allocation design-space exploration the natural heavy-traffic use of
+this repo.  This package is that layer, built on the PR 1/2 caching
+infrastructure instead of ad-hoc sweep loops:
+
+* :mod:`~repro.dse.space` — declarative :class:`DesignSpace` grids over
+  models, workloads, DEHA parameters and compiler options;
+* :mod:`~repro.dse.planner` — structural dedup + disk-store warmth
+  probes, so batches collapse duplicates and schedule warm points first;
+* :mod:`~repro.dse.strategies` — ``grid`` / ``random`` / ``greedy``
+  search under an ask/tell protocol;
+* :mod:`~repro.dse.runner` — the loop: strategy -> state skip ->
+  planner -> :class:`~repro.service.CompileService` -> records;
+* :mod:`~repro.dse.state` — crash-safe resumable run directories;
+* :mod:`~repro.dse.pareto` — latency/energy/arrays Pareto frontiers
+  with text and CSV reports.
+
+Quickstart::
+
+    from repro.dse import DesignSpace, run_dse
+
+    space = DesignSpace(
+        models=["resnet18"],
+        base_hardware="dynaplasia",
+        hardware_axes={"num_arrays": [64, 96, 128]},
+    )
+    result = run_dse(space, strategy="grid", cache_dir="/tmp/allocs")
+    print(result.render_report())
+
+The CLI front end is ``repro dse`` (see ``repro dse --help``).
+"""
+
+from .pareto import DEFAULT_AXES, dominates, pareto_frontier, render_report, write_csv
+from .planner import Plan, PlannedJob, Planner
+from .runner import DSEResult, DSERunner, EvaluationRecord, OBJECTIVES, run_dse
+from .space import DesignPoint, DesignSpace, ParameterAxis, options_signature
+from .state import RunState, RunStateError, STATE_FORMAT_VERSION
+from .strategies import (
+    STRATEGIES,
+    GreedyStrategy,
+    GridStrategy,
+    RandomStrategy,
+    Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DEFAULT_AXES",
+    "DSEResult",
+    "DSERunner",
+    "DesignPoint",
+    "DesignSpace",
+    "EvaluationRecord",
+    "GreedyStrategy",
+    "GridStrategy",
+    "OBJECTIVES",
+    "ParameterAxis",
+    "Plan",
+    "PlannedJob",
+    "Planner",
+    "RandomStrategy",
+    "RunState",
+    "RunStateError",
+    "STATE_FORMAT_VERSION",
+    "STRATEGIES",
+    "Strategy",
+    "dominates",
+    "make_strategy",
+    "options_signature",
+    "pareto_frontier",
+    "render_report",
+    "run_dse",
+    "write_csv",
+]

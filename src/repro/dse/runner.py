@@ -1,0 +1,413 @@
+"""The DSE runner: strategy-driven, cache-aware, resumable exploration.
+
+:class:`DSERunner` wires the subsystem together.  Each iteration it
+
+1. asks the :mod:`strategy <repro.dse.strategies>` for a batch of
+   candidate points (bounded by the remaining budget),
+2. skips every point whose key the resumable :class:`~repro.dse.state
+   .RunState` already holds (their stored records are still fed back to
+   the strategy so adaptive search resumes with full knowledge),
+3. hands the rest to the cache-aware :class:`~repro.dse.planner.Planner`
+   — structural duplicates collapse to one compile, warm candidates are
+   scheduled before cold ones,
+4. compiles the planned jobs through a
+   :class:`~repro.service.CompileService` (thread or process backend,
+   sharing the persistent allocation store), and
+5. converts each outcome to an :class:`EvaluationRecord` — latency,
+   energy, array usage, solver statistics — appends it durably to the
+   run state, and tells the strategy.
+
+The loop ends when the budget is spent or the strategy exhausts the
+space.  The returned :class:`DSEResult` carries every record known at
+the end (resumed and new), the aggregate counters the CLI and CI assert
+on (evaluated / replicated / skipped / allocator solves), and the Pareto
+reporting entry points.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass, field, replace as dc_replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.cache import AllocationCache
+from ..cost.energy import estimate_energy
+from ..service import CompileJob, CompileJobResult, CompileService
+from .pareto import DEFAULT_AXES, pareto_frontier, render_report, write_csv
+from .planner import Planner
+from .space import DesignPoint, DesignSpace
+from .state import RunState
+from .strategies import Strategy, make_strategy
+
+__all__ = ["DSEResult", "DSERunner", "EvaluationRecord", "OBJECTIVES", "run_dse"]
+
+#: Supported optimisation objectives (record attribute each minimises).
+OBJECTIVES = {"latency": "latency_ms", "energy": "energy_mj"}
+
+
+@dataclass
+class EvaluationRecord:
+    """Flat, JSON-serialisable outcome of one design point.
+
+    This is the unit the run state persists, the strategies steer on,
+    and the Pareto reports consume.
+
+    ``status`` is one of ``"evaluated"`` (a real compile — feasible or
+    not), ``"replicated"`` (copied from a structurally identical point
+    of the same batch) or ``"resumed"`` (loaded from the run state).
+
+    An infeasible point (the compiler proves no plan exists — the
+    boundary a DSE sweep exists to find) has ``feasible=False`` with
+    ``failed=False``; ``failed=True`` marks genuine errors (unknown
+    model, a crash inside the pipeline).
+    """
+
+    point_key: str
+    model: str
+    workload: str
+    hardware: str
+    num_arrays: int
+    hardware_fingerprint: str
+    coords: Tuple[int, ...]
+    allow_memory_mode: bool
+    objective: str
+    #: Fingerprint of the space declaration the point was evaluated
+    #: under — ``coords`` only index that grid, so a resume under a
+    #: different declaration must not reuse them.
+    space_fingerprint: str = ""
+    feasible: bool = False
+    latency_ms: float = math.inf
+    cycles: float = math.inf
+    energy_mj: float = math.inf
+    num_segments: int = 0
+    peak_arrays: int = 0
+    objective_value: float = math.inf
+    allocator_solves: int = 0
+    cache_hits: int = 0
+    disk_hits: int = 0
+    wall_seconds: float = 0.0
+    status: str = "evaluated"
+    error: Optional[str] = None
+    failed: bool = False
+
+    def to_dict(self) -> Dict:
+        """Strict-JSON rendering: coords become a list, non-finite
+        metrics become ``null`` (``results.jsonl`` must stay parseable
+        by jq/pandas, which reject bare ``Infinity`` tokens)."""
+        payload = asdict(self)
+        payload["coords"] = list(self.coords)
+        for name in ("latency_ms", "cycles", "energy_mj", "objective_value"):
+            value = payload[name]
+            if value is not None and not math.isfinite(value):
+                payload[name] = None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EvaluationRecord":
+        """Rebuild a record from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        kwargs["coords"] = tuple(kwargs.get("coords", ()))
+        for name in ("latency_ms", "cycles", "energy_mj", "objective_value"):
+            value = kwargs.get(name)
+            if value is None:
+                kwargs[name] = math.inf
+        return cls(**kwargs)
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one :meth:`DSERunner.run` call.
+
+    Attributes:
+        records: Every record known at the end of the run — resumed
+            entries first (file order), then this run's, in evaluation
+            order.
+        new_records: Only this run's records.
+        evaluated / replicated / skipped: Point counters (skipped =
+            served from the run state).
+        warm_planned / cold_planned: Canonical jobs by planner probe.
+        allocator_solves / disk_hits: Aggregates over ``new_records``.
+        objective: The optimisation objective of the run.
+        wall_seconds: Wall-clock time of the run loop.
+    """
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+    new_records: List[EvaluationRecord] = field(default_factory=list)
+    evaluated: int = 0
+    replicated: int = 0
+    skipped: int = 0
+    warm_planned: int = 0
+    cold_planned: int = 0
+    allocator_solves: int = 0
+    disk_hits: int = 0
+    objective: str = "latency"
+    wall_seconds: float = 0.0
+    _frontier_cache: Dict[Tuple[str, ...], List["EvaluationRecord"]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def frontier(self, axes: Sequence[str] = DEFAULT_AXES) -> List[EvaluationRecord]:
+        """Pareto frontier over ``axes`` of every known record.
+
+        Memoised per axis tuple — the dominance scan is O(n²) and both
+        report renderers need the same frontier.
+        """
+        key = tuple(axes)
+        cached = self._frontier_cache.get(key)
+        if cached is None:
+            cached = pareto_frontier(self.records, axes)
+            self._frontier_cache[key] = cached
+        return cached
+
+    def render_report(self, axes: Sequence[str] = DEFAULT_AXES) -> str:
+        """Text Pareto report over every known record."""
+        return render_report(
+            self.records, axes, objective=self.objective, frontier=self.frontier(axes)
+        )
+
+    def write_csv(self, path: Union[str, Path], axes: Sequence[str] = DEFAULT_AXES) -> Path:
+        """CSV report (all records, ``pareto`` flag column)."""
+        return write_csv(path, self.records, axes, frontier=self.frontier(axes))
+
+    def summary(self) -> str:
+        """Counter block the CLI prints (and CI smoke tests grep)."""
+        return "\n".join(
+            [
+                f"points: {self.evaluated} evaluated, {self.replicated} replicated, "
+                f"{self.skipped} skipped (already evaluated)",
+                f"planner: {self.warm_planned} warm, {self.cold_planned} cold",
+                f"total allocator solves: {self.allocator_solves}",
+                f"total disk hits: {self.disk_hits}",
+                f"wall time: {self.wall_seconds:.3f} s",
+            ]
+        )
+
+
+class DSERunner:
+    """Drives one exploration of a design space.
+
+    Args:
+        space: The candidate grid.
+        strategy: Strategy instance or name (``grid``/``random``/``greedy``).
+        objective: ``"latency"`` or ``"energy"`` — what adaptive
+            strategies minimise and reports highlight.
+        cache: Shared :class:`AllocationCache` (mutually exclusive with
+            ``cache_dir``), for embedding the runner into a larger
+            in-process pipeline.
+        cache_dir: Persistent allocation-store directory; enables both
+            cross-run solve reuse and the planner's warm-first ordering.
+        backend: Compile-service backend (``thread``/``process``).
+        max_workers: Pool width of the compile service.
+        state: Resumable run state (None runs fully in memory).
+        batch_size: Points asked from the strategy per iteration.
+        seed: Seed used when ``strategy`` is given by name.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        strategy: Union[str, Strategy] = "grid",
+        objective: str = "latency",
+        cache: Optional[AllocationCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        state: Optional[RunState] = None,
+        batch_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; known: {', '.join(sorted(OBJECTIVES))}"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.space = space
+        self.strategy = (
+            make_strategy(strategy, seed=seed) if isinstance(strategy, str) else strategy
+        )
+        self.objective = objective
+        self.state = state
+        self.batch_size = batch_size
+        self.service = CompileService(
+            cache=cache, cache_dir=cache_dir, backend=backend, max_workers=max_workers
+        )
+        store = self.service.cache.store if self.service.cache is not None else None
+        self.planner = Planner(store=store)
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(self, budget: Optional[int] = None) -> DSEResult:
+        """Explore until ``budget`` points are covered or the space ends.
+
+        ``budget`` counts points *covered this run* (fresh compiles plus
+        replications); points skipped via the run state are free, so a
+        resumed run spends its whole budget on new ground.
+        """
+        start = time.perf_counter()
+        self.strategy.bind(self.space)
+        result = DSEResult(objective=self.objective)
+
+        known: Dict[str, EvaluationRecord] = {}
+        if self.state is not None:
+            current_fingerprint = self.space.fingerprint()
+            for payload in self.state.records:
+                record = EvaluationRecord.from_dict(payload)
+                if record.failed:
+                    # Genuine failures (crashed worker, missing model) are
+                    # retried on resume, not treated as done — only real
+                    # outcomes (feasible or proven-infeasible) are final.
+                    continue
+                record.status = "resumed"
+                if record.space_fingerprint != current_fingerprint:
+                    # Coordinates recorded under a *different* space
+                    # declaration index into a different grid — dropping
+                    # them keeps adaptive strategies from steering on
+                    # mislocated scores (the record is still matched,
+                    # skipped and reported by point key).
+                    record.coords = ()
+                # The stored objective may differ from this run's (e.g. a
+                # latency resume of an energy run): re-derive the score so
+                # strategies and reports never mix incommensurable scales.
+                record.objective = self.objective
+                metric = getattr(record, OBJECTIVES[self.objective])
+                record.objective_value = metric if record.feasible else math.inf
+                known[record.point_key] = record
+
+        budget_left = budget if budget is not None else self.space.size
+        while budget_left > 0 and not self.strategy.exhausted:
+            points = self.strategy.ask(min(self.batch_size, budget_left))
+            if not points:
+                break
+            fresh: List[DesignPoint] = []
+            resumed: List[EvaluationRecord] = []
+            for point in points:
+                record = known.get(point.key)
+                if record is not None:
+                    result.skipped += 1
+                    resumed.append(record)
+                else:
+                    fresh.append(point)
+            batch_records: List[EvaluationRecord] = []
+            if fresh:
+                plan = self.planner.plan(fresh)
+                result.warm_planned += plan.n_warm
+                result.cold_planned += plan.n_cold
+                jobs = [
+                    CompileJob(
+                        # An unplannable point (graph=None) ships its model
+                        # reference; the service's rebuild surfaces the
+                        # error into this job's own result.
+                        job.graph if job.graph is not None else job.point.model,
+                        workload=job.point.workload,
+                        hardware=job.point.hardware,
+                        options=dc_replace(job.point.options, generate_code=False),
+                        label=job.point.describe(),
+                    )
+                    for job in plan.jobs
+                ]
+                outcomes = self.service.compile_batch(jobs)
+                for planned, outcome in zip(plan.jobs, outcomes):
+                    record = self._record(planned.point, outcome)
+                    batch_records.append(record)
+                    result.evaluated += 1
+                    for duplicate in planned.duplicates:
+                        batch_records.append(self._replicate(record, duplicate))
+                        result.replicated += 1
+                budget_left -= len(fresh)
+            for record in batch_records:
+                known[record.point_key] = record
+                if self.state is not None:
+                    self.state.append(record.to_dict())
+                result.new_records.append(record)
+                result.allocator_solves += record.allocator_solves
+                result.disk_hits += record.disk_hits
+            self.strategy.tell(batch_records + resumed)
+
+        new_keys = {record.point_key for record in result.new_records}
+        result.records = [
+            record for record in known.values() if record.point_key not in new_keys
+        ] + result.new_records
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    # record construction
+    # ------------------------------------------------------------------ #
+    def _record(self, point: DesignPoint, outcome: CompileJobResult) -> EvaluationRecord:
+        record = EvaluationRecord(
+            point_key=point.key,
+            model=point.model_name,
+            workload=point.workload.describe(),
+            hardware=point.hardware.name,
+            num_arrays=point.hardware.num_arrays,
+            hardware_fingerprint=point.hardware.fingerprint(),
+            coords=point.coords,
+            allow_memory_mode=point.options.allow_memory_mode,
+            objective=self.objective,
+            space_fingerprint=self.space.fingerprint(),
+            wall_seconds=outcome.wall_seconds,
+        )
+        if not outcome.ok:
+            # NoFeasiblePlanError is a legitimate DSE outcome (the design
+            # point is too small for the workload) and is not a failure;
+            # anything else is, but either way the sweep continues.  The
+            # solver work done before the failure still counts.
+            record.error = outcome.error
+            record.failed = not (outcome.error or "").startswith("NoFeasiblePlanError")
+            record.allocator_solves = int(outcome.stats.get("allocator_solves", 0))
+            record.cache_hits = int(outcome.stats.get("allocation_cache_hits", 0))
+            record.disk_hits = int(outcome.stats.get("allocation_disk_hits", 0))
+            return record
+        program = outcome.program
+        record.feasible = True
+        record.latency_ms = program.end_to_end_ms
+        record.cycles = program.end_to_end_cycles
+        record.energy_mj = estimate_energy(program).end_to_end_mj
+        record.num_segments = program.num_segments
+        record.peak_arrays = max(
+            (segment.compute_arrays + segment.memory_arrays for segment in program.segments),
+            default=0,
+        )
+        record.allocator_solves = int(outcome.stats.get("allocator_solves", 0))
+        record.cache_hits = int(outcome.stats.get("allocation_cache_hits", 0))
+        record.disk_hits = int(outcome.stats.get("allocation_disk_hits", 0))
+        record.objective_value = getattr(record, OBJECTIVES[self.objective])
+        return record
+
+    def _replicate(
+        self, canonical: EvaluationRecord, point: DesignPoint
+    ) -> EvaluationRecord:
+        """Copy a canonical result onto a structurally identical point.
+
+        The copy costs nothing, so its solver counters are zero — the
+        CSV stays an honest account of where time actually went.
+        """
+        return dc_replace(
+            canonical,
+            point_key=point.key,
+            model=point.model_name,
+            workload=point.workload.describe(),
+            coords=point.coords,
+            allocator_solves=0,
+            cache_hits=0,
+            disk_hits=0,
+            wall_seconds=0.0,
+            status="replicated",
+        )
+
+
+def run_dse(
+    space: DesignSpace,
+    strategy: Union[str, Strategy] = "grid",
+    objective: str = "latency",
+    budget: Optional[int] = None,
+    **runner_kwargs,
+) -> DSEResult:
+    """Convenience wrapper: build a :class:`DSERunner` and run it once."""
+    runner = DSERunner(space, strategy=strategy, objective=objective, **runner_kwargs)
+    return runner.run(budget=budget)

@@ -1,0 +1,205 @@
+"""Search strategies driving iterative design-space exploration.
+
+Strategies speak a small ask/tell protocol the runner drives:
+
+* :meth:`Strategy.bind` attaches the strategy to a
+  :class:`~repro.dse.space.DesignSpace`;
+* :meth:`Strategy.ask` proposes up to ``n`` not-yet-proposed points;
+* :meth:`Strategy.tell` feeds back evaluation records (objects exposing
+  ``coords``, ``feasible`` and ``objective_value``) so adaptive
+  strategies can steer;
+* :attr:`Strategy.exhausted` reports when the whole space was proposed.
+
+Three built-ins cover the common sweep shapes:
+
+* ``grid`` — the full factorial grid in deterministic lexicographic
+  order; the right default for small spaces and for reproducible runs.
+* ``random`` — a seeded uniform shuffle of the grid, proposed without
+  replacement; the standard budget-limited baseline for spaces too big
+  to enumerate.
+* ``greedy`` — successive-halving-flavoured local refinement: an initial
+  seeded sample, then each round keeps the best-scoring half of what has
+  been evaluated and proposes the unvisited grid *neighbours* of those
+  survivors (falling back to random exploration when the neighbourhoods
+  are exhausted).  Converges on a good region of a smooth objective with
+  a fraction of the grid budget.
+
+All randomness flows from an explicit seed — two runs with the same seed
+propose the same points in the same order, which the resumable run state
+relies on for clean restarts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from .space import DesignPoint, DesignSpace
+
+__all__ = [
+    "GreedyStrategy",
+    "GridStrategy",
+    "RandomStrategy",
+    "STRATEGIES",
+    "Strategy",
+    "make_strategy",
+]
+
+
+class Strategy:
+    """Base class: proposal bookkeeping shared by every strategy."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.space: DesignSpace = None  # type: ignore[assignment]
+        self._proposed: set = set()
+        self._total = 0
+
+    def bind(self, space: DesignSpace) -> None:
+        """Attach to a space; resets all proposal state."""
+        self.space = space
+        self._proposed = set()
+        self._total = space.size
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every point of the space has been proposed."""
+        return len(self._proposed) >= self._total
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        """Propose up to ``n`` new design points."""
+        raise NotImplementedError
+
+    def tell(self, records: Sequence) -> None:
+        """Feed evaluation results back (default: ignored)."""
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _propose(self, coords: Tuple[int, ...]) -> DesignPoint:
+        self._proposed.add(coords)
+        return self.space.point_at(coords)
+
+
+class GridStrategy(Strategy):
+    """Deterministic lexicographic sweep of the whole grid."""
+
+    name = "grid"
+
+    def bind(self, space: DesignSpace) -> None:
+        super().bind(space)
+        self._pending = list(space.coordinates())
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        batch = []
+        while self._pending and len(batch) < n:
+            batch.append(self._propose(self._pending.pop(0)))
+        return batch
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform sampling of the grid without replacement."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def bind(self, space: DesignSpace) -> None:
+        super().bind(space)
+        self._pending = list(space.coordinates())
+        random.Random(self.seed).shuffle(self._pending)
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        batch = []
+        while self._pending and len(batch) < n:
+            batch.append(self._propose(self._pending.pop(0)))
+        return batch
+
+
+class GreedyStrategy(Strategy):
+    """Successive-halving-style neighbourhood refinement.
+
+    Round 0 proposes a seeded random sample.  Every later round ranks all
+    evaluated points by objective (infeasible points score ``inf``),
+    keeps the top ``keep_fraction`` — the "halving" — and proposes the
+    unvisited grid neighbours of those survivors, best survivor first.
+    When the survivors' neighbourhoods are exhausted the strategy falls
+    back to seeded random exploration so a budget is never stranded.
+
+    Args:
+        seed: RNG seed for the initial sample and the exploration order.
+        keep_fraction: Fraction of evaluated points whose neighbourhoods
+            are explored each round (default 0.5).
+    """
+
+    name = "greedy"
+
+    def __init__(self, seed: int = 0, keep_fraction: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        self.seed = seed
+        self.keep_fraction = keep_fraction
+
+    def bind(self, space: DesignSpace) -> None:
+        super().bind(space)
+        self._explore = list(space.coordinates())
+        random.Random(self.seed).shuffle(self._explore)
+        # coords -> best objective seen (records may repeat on resume).
+        self._scores: Dict[Tuple[int, ...], float] = {}
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        batch: List[DesignPoint] = []
+        # Exploit: neighbours of the best-scoring survivors.
+        if self._scores:
+            ranked = sorted(self._scores.items(), key=lambda item: item[1])
+            keep = max(1, math.ceil(len(ranked) * self.keep_fraction))
+            for coords, _ in ranked[:keep]:
+                for neighbor in self.space.neighbors(coords):
+                    if neighbor in self._proposed:
+                        continue
+                    batch.append(self._propose(neighbor))
+                    if len(batch) >= n:
+                        return batch
+        # Explore: seeded random fill.
+        while self._explore and len(batch) < n:
+            coords = self._explore.pop(0)
+            if coords in self._proposed:
+                continue
+            batch.append(self._propose(coords))
+        return batch
+
+    def tell(self, records: Sequence) -> None:
+        for record in records:
+            value = getattr(record, "objective_value", None)
+            if value is None or not getattr(record, "feasible", False):
+                value = math.inf
+            coords = tuple(getattr(record, "coords", ()))
+            if not coords:
+                continue
+            previous = self._scores.get(coords, math.inf)
+            self._scores[coords] = min(previous, float(value))
+
+
+STRATEGIES = {
+    "grid": GridStrategy,
+    "random": RandomStrategy,
+    "greedy": GreedyStrategy,
+}
+
+
+def make_strategy(name: str, seed: int = 0) -> Strategy:
+    """Instantiate a strategy by name (``grid`` / ``random`` / ``greedy``)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+    if cls is GridStrategy:
+        return cls()
+    return cls(seed=seed)

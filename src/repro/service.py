@@ -154,7 +154,9 @@ class CompileJobResult:
         error_traceback: Full traceback text of the failure.
         wall_seconds: Wall-clock time the job took inside the service.
         stats: The program's compile statistics (allocator solves, cache
-            hits, hit rate); empty on failure.
+            hits, hit rate).  On failure this is usually empty, except
+            for :class:`~repro.core.compiler.NoFeasiblePlanError`, whose
+            pre-failure solver statistics are preserved.
     """
 
     job: CompileJob
@@ -257,6 +259,9 @@ class CompileService:
                 error=f"{type(exc).__name__}: {exc}",
                 error_traceback=traceback.format_exc(),
                 wall_seconds=time.perf_counter() - start,
+                # NoFeasiblePlanError carries the solver work done before
+                # the failure; batch accounting must not drop it.
+                stats=dict(getattr(exc, "stats", None) or {}),
             )
         return CompileJobResult(
             job=job,

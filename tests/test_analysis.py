@@ -13,7 +13,8 @@ from repro.analysis import (
     stage_of,
     transformer_stage_intensity,
 )
-from repro.hardware import dynaplasia
+from repro.analysis.sweep import ModeRatioSweep
+from repro.hardware import dynaplasia, small_test_chip
 from repro.models import Phase, Workload, build_model
 
 
@@ -68,6 +69,10 @@ class TestArithmeticIntensity:
         assert comparison["resnet50"] > comparison["llama2-7b"]
         assert comparison["vgg16"] > comparison["llama2-7b"]
 
+    def test_model_comparison_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            model_intensity_comparison(())
+
 
 class TestModeRatioSweep:
     def test_resnet_prefers_compute_heavy_split(self, motivation_chip):
@@ -96,6 +101,32 @@ class TestModeRatioSweep:
         sweep = mode_ratio_sweep(graph, motivation_chip)
         assert all(lat > 0 for lat in sweep.latencies)
 
+    def test_best_ratio_tie_breaks_to_lowest_compute_ratio(self):
+        # Equal-latency samples: the lowest compute ratio must win (same
+        # performance with fewer compute-mode arrays), regardless of the
+        # order the ratios were sampled in.
+        sweep = ModeRatioSweep(model="t", ratios=[0.2, 0.5, 0.8], latencies=[7.0, 7.0, 9.0])
+        assert sweep.best_ratio == 0.2
+        shuffled = ModeRatioSweep(model="t", ratios=[0.8, 0.5, 0.2], latencies=[9.0, 7.0, 7.0])
+        assert shuffled.best_ratio == 0.2
+
+    def test_best_ratio_ignores_nonfinite_samples(self):
+        sweep = ModeRatioSweep(
+            model="t",
+            ratios=[0.1, 0.4, 0.7],
+            latencies=[float("inf"), float("nan"), 5.0],
+        )
+        assert sweep.best_ratio == 0.7
+
+    def test_best_ratio_raises_when_nothing_feasible(self):
+        sweep = ModeRatioSweep(
+            model="t", ratios=[0.1, 0.9], latencies=[float("inf"), float("nan")]
+        )
+        with pytest.raises(ValueError, match="no feasible sample"):
+            sweep.best_ratio
+        with pytest.raises(ValueError, match="no feasible sample"):
+            sweep.normalized_performance
+
 
 class TestHeatmap:
     def test_heatmap_shape_and_range(self, motivation_chip, tiny_cnn_graph):
@@ -112,3 +143,27 @@ class TestHeatmap:
         )
         # The bottom-right corner exceeds the chip (compute + memory > N).
         assert heatmap[-1, -1] == 0.0
+
+    def test_compiled_array_sweep_propagates_genuine_bugs(self, tiny_mlp_graph):
+        # A broken compile (bad options -> TypeError inside the pipeline)
+        # must raise, never masquerade as an infeasible design point.
+        from repro.analysis import compiled_array_sweep
+        from repro.core import CompilerOptions
+
+        bad = CompilerOptions(max_segment_operators="boom", generate_code=False)
+        with pytest.raises(RuntimeError, match="failed at num_arrays=4"):
+            compiled_array_sweep(tiny_mlp_graph, small_test_chip(), (4,), options=bad)
+
+    def test_single_array_chip_degenerates_gracefully(self, tiny_mlp_graph):
+        # A 1-array chip collapses the compute axis to [1] and the memory
+        # axis to [0, 1]; the only legal cell (1 compute, 0 memory) must
+        # carry the peak, and the (1, 1) cell (over the chip) must be 0.
+        chip = small_test_chip(num_arrays=1)
+        compute_counts, memory_counts, heatmap = mode_allocation_heatmap(
+            tiny_mlp_graph, chip, grid_points=5
+        )
+        assert list(compute_counts) == [1]
+        assert list(memory_counts) == [0, 1]
+        assert heatmap.shape == (1, 2)
+        assert heatmap[0, 0] == pytest.approx(1.0)
+        assert heatmap[0, 1] == 0.0

@@ -1,0 +1,750 @@
+"""Tests for the cache-aware design-space-exploration engine (repro.dse)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import AllocationCache, DiskCacheStore
+from repro.dse import (
+    DesignSpace,
+    DSERunner,
+    EvaluationRecord,
+    GreedyStrategy,
+    GridStrategy,
+    Planner,
+    RandomStrategy,
+    RunState,
+    RunStateError,
+    make_strategy,
+    pareto_frontier,
+    run_dse,
+    write_csv,
+)
+from repro.hardware import small_test_chip
+from repro.models import Workload, build_model
+
+
+def tiny_space(arrays=(4, 8), modes=None, models=("tiny-cnn",)):
+    """A fast space over the 8-array test chip."""
+    option_axes = {}
+    if modes is not None:
+        option_axes["allow_memory_mode"] = list(modes)
+    return DesignSpace(
+        models=list(models),
+        base_hardware=small_test_chip(),
+        workloads=[Workload(batch_size=1, seq_len=16)],
+        hardware_axes={"num_arrays": list(arrays)},
+        option_axes=option_axes,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# DesignSpace
+# ---------------------------------------------------------------------- #
+class TestDesignSpace:
+    def test_size_and_grid_order(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        assert space.size == 6
+        points = list(space.points())
+        assert len(points) == 6
+        # Lexicographic: mode varies fastest (last axis).
+        assert [p.hardware.num_arrays for p in points] == [4, 4, 6, 6, 8, 8]
+        assert [p.options.allow_memory_mode for p in points] == [True, False] * 3
+
+    def test_point_keys_stable_and_distinct(self):
+        space = tiny_space(arrays=(4, 8))
+        keys = [p.key for p in space.points()]
+        assert len(set(keys)) == 2
+        # Same declaration -> same keys (cross-process stability proxy).
+        again = [p.key for p in tiny_space(arrays=(4, 8)).points()]
+        assert keys == again
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            DesignSpace(models=[])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            tiny_space(arrays=())
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown hardware axis"):
+            DesignSpace(models=["tiny-cnn"], hardware_axes={"warp_cores": [1]})
+        with pytest.raises(ValueError, match="unknown option axis"):
+            DesignSpace(models=["tiny-cnn"], option_axes={"turbo": [True]})
+
+    def test_neighbors_step_one_axis(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        coords = (0, 0, 1, 0)
+        neighbors = space.neighbors(coords)
+        assert (0, 0, 0, 0) in neighbors and (0, 0, 2, 0) in neighbors
+        assert (0, 0, 1, 1) in neighbors
+        for nb in neighbors:
+            assert sum(a != b for a, b in zip(nb, coords)) == 1
+
+    def test_spec_round_trip(self):
+        space = tiny_space(arrays=(4, 8), modes=(True, False))
+        rebuilt = DesignSpace.from_spec(space.to_spec())
+        assert rebuilt.fingerprint() == space.fingerprint()
+        assert [p.key for p in rebuilt.points()] == [p.key for p in space.points()]
+
+    def test_numpy_axis_values_are_coerced(self):
+        import numpy as np
+
+        space = DesignSpace(
+            models=["tiny-mlp"],
+            base_hardware=small_test_chip(),
+            hardware_axes={"num_arrays": np.array([4, 8])},
+            option_axes={"allow_memory_mode": np.array([True])},
+        )
+        # int64/bool_ values must not crash JSON digests three calls later.
+        assert space.fingerprint()
+        points = list(space.points())
+        assert [p.key for p in points]
+        assert all(isinstance(p.hardware.num_arrays, int) for p in points)
+        json.dumps(space.to_spec())
+
+    def test_graph_models_get_structural_digests(self):
+        graph = build_model("tiny-mlp", Workload(batch_size=1))
+        space = DesignSpace(models=[graph], base_hardware=small_test_chip())
+        point = next(space.points())
+        assert point.model_digest is not None
+        assert point.model_name == "tiny-mlp"
+
+
+# ---------------------------------------------------------------------- #
+# Planner
+# ---------------------------------------------------------------------- #
+class TestPlanner:
+    def test_structural_duplicates_collapse(self):
+        # The same model twice -> identical structure -> one canonical job.
+        space = tiny_space(models=("tiny-cnn", "tiny-cnn"))
+        planner = Planner()
+        plan = planner.plan(list(space.points()))
+        assert plan.n_points == 4
+        assert len(plan.jobs) == 2  # one per array count
+        assert plan.n_collapsed == 2
+        for job in plan.jobs:
+            assert len(job.duplicates) == 1
+
+    def test_distinct_structures_not_collapsed(self):
+        space = tiny_space(models=("tiny-cnn", "tiny-mlp"), arrays=(8,))
+        plan = Planner().plan(list(space.points()))
+        assert len(plan.jobs) == 2
+        assert plan.n_collapsed == 0
+
+    def test_warm_points_ordered_first(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Warm exactly one design point (8 arrays) through a real compile.
+        warm_only = tiny_space(arrays=(8,))
+        run_dse(warm_only, cache_dir=cache_dir)
+        store = DiskCacheStore(cache_dir)
+        planner = Planner(store=store)
+        # Plan cold-first input order; the warm point must come out first.
+        space = tiny_space(arrays=(4, 8))
+        points = list(space.points())  # 4 (cold) then 8 (warm)
+        plan = planner.plan(points)
+        assert plan.n_warm == 1 and plan.n_cold == 1
+        assert plan.jobs[0].point.hardware.num_arrays == 8
+        assert plan.jobs[0].warm and not plan.jobs[1].warm
+
+    def test_no_store_means_everything_cold(self):
+        plan = Planner().plan(list(tiny_space().points()))
+        assert plan.n_warm == 0
+        assert all(not job.warm for job in plan.jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+class TestStrategies:
+    def _drain(self, strategy, space, chunk=3):
+        strategy.bind(space)
+        seen = []
+        while not strategy.exhausted:
+            batch = strategy.ask(chunk)
+            if not batch:
+                break
+            seen.extend(batch)
+        return seen
+
+    def test_grid_proposes_lexicographic_order(self):
+        space = tiny_space(arrays=(4, 6, 8))
+        points = self._drain(GridStrategy(), space)
+        assert [p.coords for p in points] == list(space.coordinates())
+
+    def test_random_is_seeded_and_complete(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        first = [p.coords for p in self._drain(RandomStrategy(seed=7), space)]
+        second = [p.coords for p in self._drain(RandomStrategy(seed=7), space)]
+        other = [p.coords for p in self._drain(RandomStrategy(seed=8), space)]
+        assert first == second
+        assert sorted(first) == sorted(space.coordinates())
+        assert first != other  # 12 points: astronomically unlikely to coincide
+
+    def test_greedy_explores_neighbors_of_best(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        strategy = GreedyStrategy(seed=0)
+        strategy.bind(space)
+        batch = strategy.ask(2)
+        assert len(batch) == 2
+        # Feed back: first point is great, second terrible.
+        records = [
+            EvaluationRecord(
+                point_key=p.key, model=p.model_name, workload="w", hardware="h",
+                num_arrays=p.hardware.num_arrays, hardware_fingerprint="f",
+                coords=p.coords, allow_memory_mode=True, objective="latency",
+                feasible=True, objective_value=value,
+            )
+            for p, value in zip(batch, (1.0, 100.0))
+        ]
+        strategy.tell(records)
+        best_coords = batch[0].coords
+        next_batch = strategy.ask(2)
+        neighbor_set = set(space.neighbors(best_coords))
+        assert next_batch, "greedy must keep proposing"
+        assert next_batch[0].coords in neighbor_set
+
+    def test_greedy_exhausts_whole_space(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        points = self._drain(GreedyStrategy(seed=1), space)
+        assert sorted(p.coords for p in points) == sorted(space.coordinates())
+
+    def test_make_strategy_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("simulated-annealing")
+
+
+# ---------------------------------------------------------------------- #
+# Runner + resume
+# ---------------------------------------------------------------------- #
+class TestRunnerResume:
+    def test_budget_limits_coverage(self, tmp_path):
+        space = tiny_space(arrays=(4, 6, 8))
+        result = run_dse(space, budget=2, cache_dir=tmp_path / "cache")
+        assert result.evaluated + result.replicated == 2
+
+    def test_resume_after_interrupt_skips_completed(self, tmp_path):
+        space = tiny_space(arrays=(4, 6, 8))
+        cache_dir = tmp_path / "cache"
+        run_dir = tmp_path / "run"
+
+        # "Interrupted" first run: budget covers 2 of 3 points.
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            partial = DSERunner(space, cache_dir=cache_dir, state=state).run(budget=2)
+        assert partial.evaluated == 2
+
+        # Restart with the full budget: the 2 completed points are skipped,
+        # only the third is compiled.
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            resumed = DSERunner(space, cache_dir=cache_dir, state=state).run()
+        assert resumed.skipped == 2
+        assert resumed.evaluated == 1
+        assert len(resumed.records) == 3
+
+        # A third run does nothing at all: zero solves, everything skipped.
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            final = DSERunner(space, cache_dir=cache_dir, state=state).run()
+        assert final.skipped == 3
+        assert final.evaluated == 0
+        assert final.allocator_solves == 0
+
+    def test_fresh_run_refuses_existing_results(self, tmp_path):
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        with pytest.raises(RunStateError, match="already contains results"):
+            RunState.open(
+                tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+            )
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        results = tmp_path / "results.jsonl"
+        lines = results.read_text().splitlines()
+        assert len(lines) == 2
+        # Simulate a crash mid-append: truncate the last record.
+        results.write_text("\n".join(lines[:1]) + "\n" + lines[1][: len(lines[1]) // 2])
+        state = RunState.load(tmp_path)
+        assert state.dropped_lines == 1
+        assert len(state.completed) == 1
+        # The torn point is re-evaluated on resume.
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as resumed_state:
+            resumed = DSERunner(space, state=resumed_state).run()
+        assert resumed.skipped == 1 and resumed.evaluated == 1
+
+    def test_resume_with_widened_space_evaluates_only_new_points(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_dir = tmp_path / "run"
+        narrow = tiny_space(arrays=(4, 8))
+        with RunState.open(
+            run_dir, narrow.to_spec(), narrow.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(narrow, cache_dir=cache_dir, state=state).run()
+        wide = tiny_space(arrays=(4, 6, 8))
+        with RunState.open(
+            run_dir, wide.to_spec(), wide.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            assert state.space_changed
+            result = DSERunner(wide, cache_dir=cache_dir, state=state).run()
+        assert result.skipped == 2 and result.evaluated == 1
+        assert {r.num_arrays for r in result.records} == {4, 6, 8}
+        # Coordinates recorded under the old (narrower) space index a
+        # different grid; resumed records must not carry them into the
+        # new space's strategies.
+        for record in result.records:
+            if record.status == "resumed":
+                assert record.coords == ()
+
+        # A further resume of the *same* widened space is no longer a
+        # space change, and the point evaluated under it keeps its
+        # coordinates (records carry their own space fingerprints).
+        with RunState.open(
+            run_dir, wide.to_spec(), wide.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            assert not state.space_changed
+            final = DSERunner(wide, cache_dir=cache_dir, state=state).run()
+        assert final.skipped == 3 and final.evaluated == 0
+        by_arrays = {r.num_arrays: r for r in final.records}
+        assert by_arrays[6].coords != ()   # evaluated under the wide space
+        assert by_arrays[4].coords == ()   # evaluated under the narrow one
+
+    def test_resume_with_different_objective_rescores_records(self, tmp_path):
+        space = tiny_space()
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "energy", "grid"
+        ) as state:
+            DSERunner(space, objective="energy", state=state).run()
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            result = DSERunner(space, objective="latency", state=state).run()
+        assert result.skipped == 2
+        for record in result.records:
+            assert record.objective == "latency"
+            assert record.objective_value == pytest.approx(record.latency_ms)
+
+    def test_resume_retries_failed_points(self, tmp_path):
+        # A genuine failure (unknown model) must be retried on resume,
+        # not permanently skipped as "already evaluated".
+        space = DesignSpace(
+            models=["no-such-model", "tiny-mlp"], base_hardware=small_test_chip()
+        )
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            first = DSERunner(space, state=state).run()
+        assert sum(1 for r in first.new_records if r.failed) == 1
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            resumed = DSERunner(space, state=state).run()
+        # tiny-mlp is final and skipped; the failed point is re-attempted.
+        assert resumed.skipped == 1
+        assert resumed.evaluated == 1
+        assert sum(1 for r in resumed.new_records if r.failed) == 1
+
+    def test_resume_with_new_objective_updates_run_metadata(self, tmp_path):
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, objective="latency", state=state).run()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "energy", "greedy",
+            resume=True,
+        ) as state:
+            assert state.meta["objective"] == "energy"
+            assert state.meta["strategy"] == "greedy"
+        # The rewrite is durable, not just in-memory.
+        assert json.loads((tmp_path / "space.json").read_text())["objective"] == "energy"
+
+    def test_unreadable_results_raise_run_state_error(self, tmp_path):
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        results = tmp_path / "results.jsonl"
+        results.unlink()
+        results.mkdir()  # open() for reading now fails with an OSError
+        with pytest.raises(RunStateError, match="cannot read"):
+            RunState.load(tmp_path)
+
+    def test_resume_recovers_from_missing_space_json(self, tmp_path):
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        (tmp_path / "space.json").unlink()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            assert state.space_changed  # original declaration unknown
+            assert state.meta.get("recovered") is True
+            result = DSERunner(space, state=state).run()
+        assert result.skipped == 2 and result.evaluated == 0
+
+    def test_resume_recovers_from_torn_space_json(self, tmp_path):
+        # A power loss can tear space.json while the fsynced results
+        # survive; --resume must recover, not dead-end.
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        (tmp_path / "space.json").write_text('{"format_version": 1, "spa')
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            assert state.meta.get("recovered") is True
+            result = DSERunner(space, state=state).run()
+        assert result.skipped == 2 and result.evaluated == 0
+
+    def test_resume_refuses_newer_state_format(self, tmp_path):
+        # A parseable space.json from a newer writer must be refused,
+        # never clobbered by the torn-file recovery path.
+        space = tiny_space()
+        with RunState.open(
+            tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, state=state).run()
+        meta = json.loads((tmp_path / "space.json").read_text())
+        meta["format_version"] = 999
+        (tmp_path / "space.json").write_text(json.dumps(meta))
+        with pytest.raises(RunStateError, match="format"):
+            RunState.open(
+                tmp_path, space.to_spec(), space.fingerprint(), "latency", "grid",
+                resume=True,
+            )
+
+    def test_fixed_pass_infeasibility_keeps_dual_plan_and_solves(
+        self, small_chip, monkeypatch
+    ):
+        # If the fixed-mode fallback pass proves itself infeasible, the
+        # dual-mode plan must survive and the fallback's solver work must
+        # still be counted.
+        import repro.core.compiler as compiler_module
+        from repro.core.compiler import CMSwitchCompiler, CompilerOptions
+        from repro.core.segmentation import NetworkSegmenter, NoFeasiblePlanError
+        from repro.models import build_model
+
+        real_segmenter = NetworkSegmenter
+
+        class FixedPassFails(real_segmenter):
+            def segment(self, graph):
+                if not self.options.allow_memory_mode:
+                    raise NoFeasiblePlanError(
+                        "fixed impossible",
+                        stats={
+                            "allocator_solves": 7,
+                            "allocation_cache_hits": 3,
+                            "allocation_disk_hits": 1,
+                        },
+                    )
+                return super().segment(graph)
+
+        monkeypatch.setattr(compiler_module, "NetworkSegmenter", FixedPassFails)
+        graph = build_model("tiny-mlp", Workload(batch_size=1))
+        program = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False)
+        ).compile(graph)
+        assert program.num_segments >= 1
+        assert program.stats["allocator_solves"] >= 7
+        assert program.stats["allocation_cache_hits"] >= 3
+        assert program.stats["allocation_disk_hits"] >= 1
+
+    def test_infeasible_compile_still_reports_its_solves(self, small_chip, monkeypatch):
+        # Force both passes infeasible while preserving the solve counters:
+        # the work done before NoFeasiblePlanError must not vanish from
+        # batch/DSE accounting.
+        import repro.core.compiler as compiler_module
+        from repro.core.segmentation import SegmentationResult
+
+        class InfeasibleSegmenter:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def segment(self, graph):
+                from repro.cost.latency import INFEASIBLE_LATENCY
+                from repro.core.program import SegmentPlan
+
+                plan = SegmentPlan(
+                    index=0, operator_names=["op"], allocations={}, profiles={},
+                    intra_cycles=INFEASIBLE_LATENCY, inter_cycles=0.0,
+                )
+                return SegmentationResult([plan], [], 0.0, 5, 3, 2)
+
+        monkeypatch.setattr(compiler_module, "NetworkSegmenter", InfeasibleSegmenter)
+        result = run_dse(tiny_space(arrays=(8,)))
+        record = result.records[0]
+        assert not record.feasible and not record.failed
+        assert record.allocator_solves == 10  # both passes' 5 solves each
+        assert record.disk_hits == 4
+        assert result.allocator_solves == 10
+
+    def test_shared_cache_object_instead_of_dir(self):
+        cache = AllocationCache()
+        result = run_dse(tiny_space(), cache=cache)
+        assert result.evaluated == 2
+        assert cache.stats.stores > 0
+
+    def test_failing_point_is_recorded_not_fatal(self):
+        # An unknown model cannot even be planned; its failure must land
+        # in its own record while the valid point still compiles.
+        space = DesignSpace(
+            models=["no-such-model", "tiny-cnn"],
+            base_hardware=small_test_chip(),
+            workloads=[Workload(batch_size=1, seq_len=16)],
+        )
+        result = run_dse(space)
+        assert result.evaluated == 2
+        by_model = {r.model: r for r in result.records}
+        failed = by_model["no-such-model"]
+        assert not failed.feasible
+        assert failed.failed
+        assert failed.error and "no-such-model" in failed.error
+        assert math.isinf(failed.objective_value)
+        assert by_model["tiny-cnn"].feasible
+
+    def test_failed_record_serialises_as_strict_json(self):
+        # Non-finite metrics must become null, never a bare Infinity
+        # token (results.jsonl is consumed by jq/pandas too).
+        space = DesignSpace(models=["no-such-model"], base_hardware=small_test_chip())
+        result = run_dse(space)
+        payload = result.records[0].to_dict()
+        text = json.dumps(payload, allow_nan=False)  # raises on inf/nan
+        clone = EvaluationRecord.from_dict(json.loads(text))
+        assert math.isinf(clone.objective_value) and clone.failed
+
+    def test_records_json_round_trip(self):
+        result = run_dse(tiny_space())
+        for record in result.records:
+            clone = EvaluationRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+            assert clone.point_key == record.point_key
+            assert clone.coords == record.coords
+            assert clone.latency_ms == pytest.approx(record.latency_ms)
+
+
+# ---------------------------------------------------------------------- #
+# Warm planning across runs
+# ---------------------------------------------------------------------- #
+class TestWarmPlanning:
+    def test_second_run_of_overlapping_space_does_zero_solves(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_dse(tiny_space(), cache_dir=cache_dir)
+        assert cold.allocator_solves > 0
+        warm = run_dse(tiny_space(), cache_dir=cache_dir)
+        assert warm.allocator_solves == 0
+        assert warm.cold_planned == 0
+        assert warm.disk_hits > 0
+        # Same designs, bit-identical metrics.
+        cold_by_key = {r.point_key: r for r in cold.records}
+        for record in warm.records:
+            assert record.latency_ms == cold_by_key[record.point_key].latency_ms
+
+    def test_disk_hits_surface_in_program_stats(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_dse(tiny_space(arrays=(8,)), cache_dir=cache_dir)
+        warm = run_dse(tiny_space(arrays=(8,)), cache_dir=cache_dir)
+        record = warm.records[0]
+        assert record.disk_hits > 0
+        assert record.allocator_solves == 0
+
+
+# ---------------------------------------------------------------------- #
+# Pareto
+# ---------------------------------------------------------------------- #
+def _record(key, latency, energy, arrays, feasible=True):
+    return EvaluationRecord(
+        point_key=key, model="m", workload="w", hardware="h", num_arrays=arrays,
+        hardware_fingerprint="f", coords=(0,), allow_memory_mode=True,
+        objective="latency", feasible=feasible, latency_ms=latency,
+        energy_mj=energy, objective_value=latency,
+    )
+
+
+class TestPareto:
+    def test_known_frontier(self):
+        records = [
+            _record("a", 10.0, 5.0, 8),    # frontier (fastest)
+            _record("b", 20.0, 3.0, 8),    # frontier (least energy at 8)
+            _record("c", 30.0, 6.0, 8),    # dominated by a and b
+            _record("d", 40.0, 8.0, 4),    # frontier (fewest arrays)
+            _record("e", 12.0, 5.0, 8),    # dominated by a
+        ]
+        frontier = {r.point_key for r in pareto_frontier(records)}
+        assert frontier == {"a", "b", "d"}
+
+    def test_infeasible_and_nonfinite_excluded(self):
+        records = [
+            _record("a", 10.0, 5.0, 8),
+            _record("x", math.inf, math.inf, 8, feasible=False),
+            _record("y", math.inf, 5.0, 4),
+        ]
+        frontier = {r.point_key for r in pareto_frontier(records)}
+        assert frontier == {"a"}
+
+    def test_identical_points_both_kept(self):
+        records = [_record("a", 10.0, 5.0, 8), _record("b", 10.0, 5.0, 8)]
+        assert len(pareto_frontier(records)) == 2
+
+    def test_csv_written_with_pareto_flags(self, tmp_path):
+        records = [_record("a", 10.0, 5.0, 8), _record("c", 30.0, 6.0, 8)]
+        path = write_csv(tmp_path / "out.csv", records)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("point_key,") and lines[0].endswith(",pareto")
+        flags = {line.split(",")[0]: line.split(",")[-1] for line in lines[1:]}
+        assert flags == {"a": "1", "c": "0"}
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+class TestDseCli:
+    def test_dse_run_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["dse", "--strategy", "grid", "--budget", "4", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier" in out
+        assert "total allocator solves: 0" not in out
+        assert (tmp_path / "cache" / "_dse" / "pareto.csv").exists()
+        assert (tmp_path / "cache" / "_dse" / "report.txt").exists()
+
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "total allocator solves: 0" in out
+        assert "2 skipped (already evaluated)" in out
+
+    def test_dse_refuses_dirty_run_dir_without_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["dse", "--budget", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already contains results" in capsys.readouterr().err
+
+    def test_dse_strategy_and_objective_choices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["dse", "tiny-mlp", "--strategy", "greedy", "--objective", "energy",
+             "--arrays", "4", "8", "--modes", "dual", "fixed"]
+        )
+        assert args.strategy == "greedy" and args.objective == "energy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--strategy", "annealing"])
+
+
+class TestCacheCli:
+    def _warm_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_dse(tiny_space(), cache_dir=cache_dir)
+        return cache_dir
+
+    def test_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = self._warm_cache(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "oldest entry" in out
+
+    def test_stats_does_not_create_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "typo-path"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_cache_cli_rejects_regular_file_path(self, tmp_path, capsys):
+        from repro.cli import main
+
+        not_a_dir = tmp_path / "somefile"
+        not_a_dir.write_text("hi")
+        assert main(["cache", "stats", "--cache-dir", str(not_a_dir)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_prune_by_age(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.cli import main
+
+        cache_dir = self._warm_cache(tmp_path)
+        store = DiskCacheStore(cache_dir)
+        entries = store._entry_files()
+        assert entries
+        # Age half the entries far into the past.
+        old = time.time() - 10 * 86400
+        aged = entries[: len(entries) // 2]
+        for path in aged:
+            os.utime(path, (old, old))
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir), "--max-age", "7d"]) == 0
+        assert f"pruned: {len(aged)} entries" in capsys.readouterr().out
+        assert len(store._entry_files()) == len(entries) - len(aged)
+
+    def test_prune_by_size_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = self._warm_cache(tmp_path)
+        store = DiskCacheStore(cache_dir)
+        before = len(store)
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir), "--max-bytes", "2KB"]) == 0
+        remaining = len(store)
+        assert remaining < before
+        assert store.usage()["bytes"] <= 2048
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert len(store) == 0
+
+    def test_prune_requires_a_policy(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = self._warm_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir)]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_prune_spares_foreign_files(self, tmp_path):
+        from repro.cli import main
+
+        cache_dir = self._warm_cache(tmp_path)
+        # The DSE run dir nested inside the cache dir must survive both
+        # prune and clear (only content-addressed entry files are touched).
+        foreign = cache_dir / "_dse"
+        foreign.mkdir()
+        (foreign / "space.json").write_text("{}")
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir), "--max-bytes", "0"]) == 0
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert (foreign / "space.json").exists()
