@@ -5,8 +5,9 @@ This example walks through the whole public API in a couple of minutes:
 
 1. describe the target chip through the dual-mode hardware abstraction,
 2. build a network from the model zoo,
-3. compile it with CMSwitch (dynamic-programming segmentation plus
-   MIP-based compute/memory allocation),
+3. compile it through a :class:`repro.api.Session` (the pass pipeline:
+   dynamic-programming segmentation plus MIP-based compute/memory
+   allocation, per-pass wall times on the program),
 4. inspect the segment plans and the generated meta-operator flow,
 5. check the compiled mapping functionally and re-estimate its latency
    with the timing simulator.
@@ -14,7 +15,8 @@ This example walks through the whole public API in a couple of minutes:
 Run with ``python examples/quickstart.py``.
 """
 
-from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.api import Session
+from repro.core import CompilerOptions
 from repro.hardware import small_test_chip
 from repro.models import Workload, build_model
 from repro.sim import FunctionalSimulator, TimingSimulator
@@ -36,16 +38,21 @@ def main() -> None:
     )
     print()
 
-    # 3. Compile.  The options shown are the defaults; they are spelled out
-    #    here so the knobs are easy to discover.
+    # 3. Compile through a session.  The options shown are the defaults;
+    #    they are spelled out here so the knobs are easy to discover.
     options = CompilerOptions(
         max_segment_operators=8,
         use_milp=True,
         include_switch_cost=True,
         generate_code=True,
     )
-    program = CMSwitchCompiler(hardware, options).compile(graph)
+    session = Session(hardware=hardware, options=options)
+    program = session.compile(graph)
     print(program.summary())
+    print("per-pass wall time:", {
+        name: round(seconds, 4)
+        for name, seconds in program.stats["pass_seconds"].items()
+    })
     print()
 
     # 4. Segment plans and the dual-mode meta-operator flow (Fig. 13 syntax).

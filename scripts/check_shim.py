@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI gate for the deprecation shims and the pipeline's instrumentation.
+
+Compiles one model through the legacy ``repro.compile_model`` shim and
+through ``repro.api.Session`` and asserts:
+
+1. the shim emits a ``DeprecationWarning``;
+2. the two programs are bit-identical
+   (``CompiledProgram.fingerprint()``);
+3. per-pass timing stats are present in ``CompiledProgram.stats``
+   (every pass of the standard sequence that ran for the options used).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_shim.py
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+
+def main() -> int:
+    from repro.api import Session
+    from repro.core import CompilerOptions, compile_model
+    from repro.hardware import small_test_chip
+    from repro.models import Workload, build_model
+
+    hardware = small_test_chip()
+    graph = build_model("tiny-mlp", Workload(batch_size=1))
+    options = CompilerOptions(generate_code=False)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = compile_model(graph, hardware, options)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert deprecations, "compile_model() shim emitted no DeprecationWarning"
+    assert "Session" in str(deprecations[0].message), deprecations[0].message
+    print(f"shim warning ok: {deprecations[0].message}")
+
+    session = Session(hardware=hardware, options=options)
+    fresh = session.compile(graph)
+    assert legacy.fingerprint() == fresh.fingerprint(), (
+        "legacy shim and Session produced different programs:\n"
+        f"  legacy  {legacy.fingerprint()}\n"
+        f"  session {fresh.fingerprint()}"
+    )
+    print(f"bit-identity ok: {fresh.fingerprint()}")
+
+    expected_passes = {
+        "flatten",
+        "partition",
+        "segment",
+        "allocate",
+        "fixed_fallback",
+        "refine",
+    }  # codegen is off for these options
+    for name, program in (("legacy", legacy), ("session", fresh)):
+        timings = program.stats.get("pass_seconds")
+        assert timings, f"{name} program carries no pass_seconds stats"
+        missing = expected_passes - set(timings)
+        assert not missing, f"{name} program missing pass timings: {missing}"
+        assert all(seconds >= 0.0 for seconds in timings.values()), timings
+    print(f"pass timings ok: {sorted(fresh.stats['pass_seconds'])}")
+    print("all shim checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

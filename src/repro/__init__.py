@@ -8,39 +8,41 @@ executing MVMs in place) and how many in memory mode (serving as on-chip
 scratchpad for activations and KV caches), then schedules the network onto
 the chip and emits a dual-mode meta-operator flow.
 
-Quickstart::
+Quickstart (the :class:`~repro.api.Session` facade is the public API)::
 
-    from repro.hardware import dynaplasia
-    from repro.models import build_model, Workload
-    from repro.core import CMSwitchCompiler
+    from repro.api import Session
 
-    hardware = dynaplasia()
-    graph = build_model("resnet18", Workload(batch_size=1))
-    program = CMSwitchCompiler(hardware).compile(graph)
+    session = Session(hardware="dynaplasia")
+    program = session.compile("resnet18")
     print(program.summary())
 
 Sub-packages:
 
+* :mod:`repro.api` -- the stable :class:`Session` facade over
+  compile / batch / DSE / cache
 * :mod:`repro.ir` -- computation-graph IR (ONNX-like substrate)
 * :mod:`repro.models` -- benchmark model zoo and workload descriptions
 * :mod:`repro.hardware` -- dual-mode hardware abstraction (DEHA) and presets
 * :mod:`repro.cost` -- latency and mode-switch cost models
 * :mod:`repro.core` -- the CMSwitch compiler (DP segmentation + MIP allocation)
-* :mod:`repro.baselines` -- PUMA / OCC / CIM-MLC baseline compilers
+* :mod:`repro.pipeline` -- the pass-based compile pipeline the compilers run
+* :mod:`repro.baselines` -- PUMA / OCC / CIM-MLC as pipeline configurations
 * :mod:`repro.sim` -- functional and timing simulators
 * :mod:`repro.analysis`, :mod:`repro.experiments` -- paper figure/table harness
 * :mod:`repro.dse` -- cache-aware design-space exploration engine
 """
 
+from .api import Session
 from .core.cache import AllocationCache
 from .core.compiler import CMSwitchCompiler, CompilerOptions, NoFeasiblePlanError, compile_model
 from .core.store import DiskCacheStore
 from .core.program import CompiledProgram, SegmentPlan
 from .hardware import DualModeHardwareAbstraction, dynaplasia, get_preset, prime, small_test_chip
 from .models import Phase, Workload, build_model, list_models
+from .pipeline import Pipeline, PipelineContext, build_pipeline
 from .service import CompileJob, CompileJobResult, CompileService, compile_batch
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "AllocationCache",
@@ -54,10 +56,14 @@ __all__ = [
     "DualModeHardwareAbstraction",
     "NoFeasiblePlanError",
     "Phase",
+    "Pipeline",
+    "PipelineContext",
     "SegmentPlan",
+    "Session",
     "Workload",
     "__version__",
     "build_model",
+    "build_pipeline",
     "compile_batch",
     "compile_model",
     "dynaplasia",

@@ -1,0 +1,288 @@
+"""The stable public API: one :class:`Session` over compile / batch / DSE.
+
+Before this module existed there were three separate entry points —
+:func:`repro.core.compiler.compile_model`,
+:func:`repro.service.compile_batch` and :class:`repro.dse.DSERunner` —
+each re-plumbing hardware presets, cache directories and pool backends
+on its own.  A :class:`Session` carries that context once:
+
+* ``session.compile(model, workload)`` — one graph through the pass
+  pipeline, raising on failure;
+* ``session.compile_batch(jobs)`` — many jobs through the shared
+  :class:`~repro.service.CompileService` (thread or process pool),
+  failures isolated per job;
+* ``session.explore(space)`` — a :mod:`repro.dse` run against the same
+  cache, so a sweep warm-starts from every compile the session already
+  did;
+* ``session.cache`` / ``session.cache_stats`` — the shared allocation
+  cache all of the above feed.
+
+Usage::
+
+    from repro.api import Session
+
+    session = Session(hardware="dynaplasia", cache_dir="~/.cache/repro")
+    program = session.compile("resnet18")
+    results = session.compile_batch(["bert", "vgg16"])
+    sweep = session.explore(space, strategy="greedy", budget=16)
+
+The historical entry points remain as deprecation shims over a session
+and produce bit-identical programs (asserted in CI).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .core.cache import AllocationCache, CacheStats
+from .core.compiler import CMSwitchCompiler, CompilerOptions
+from .core.program import CompiledProgram
+from .hardware.deha import DualModeHardwareAbstraction
+from .hardware.presets import get_preset
+from .ir.graph import Graph
+from .models.registry import build_model
+from .models.workload import Workload
+from .service import CompileJob, CompileJobResult, CompileService
+
+__all__ = ["Session"]
+
+#: Jobs a session accepts: full specs, bare model names, or built graphs.
+JobLike = Union[CompileJob, str, Graph]
+
+
+class Session:
+    """One configured entry point over the whole compilation stack.
+
+    A session owns the shared :class:`AllocationCache` (optionally
+    disk-backed via ``cache_dir``), the worker-pool backend and the
+    default hardware/options, and routes every public operation —
+    single compiles, batches, design-space exploration, cache
+    inspection — through them.  Sessions are cheap to construct and
+    safe to share between threads (the underlying service and cache
+    are).
+
+    Args:
+        hardware: Default target — a preset name or a
+            :class:`DualModeHardwareAbstraction`.
+        options: Default :class:`CompilerOptions` for :meth:`compile`
+            (paper defaults when omitted; batch jobs default to the
+            service's code-generation-off options unless the job or
+            call says otherwise).
+        cache: Shared allocation cache (mutually exclusive with
+            ``cache_dir``).
+        cache_dir: Directory of a persistent
+            :class:`~repro.core.store.DiskCacheStore`; later sessions
+            and worker processes warm-start from it.
+        backend: ``"thread"`` (default) or ``"process"`` — see
+            :class:`CompileService` for the sharing contract.
+        max_workers: Default pool width for batches.
+        use_cache: Disable the shared cache entirely (A/B timing).
+    """
+
+    def __init__(
+        self,
+        hardware: Union[str, DualModeHardwareAbstraction] = "dynaplasia",
+        options: Optional[CompilerOptions] = None,
+        cache: Optional[AllocationCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.hardware = (
+            get_preset(hardware) if isinstance(hardware, str) else hardware
+        )
+        # Whether the caller pinned session-wide options matters for
+        # batches: an explicit choice must govern every entry point, but
+        # the *implicit* defaults differ by entry point (interactive
+        # compiles keep code generation on, batch jobs historically run
+        # with it off) and silently forcing one onto the other would
+        # change batch behaviour.
+        self._options_given = options is not None
+        self.options = options or CompilerOptions()
+        self.service = CompileService(
+            cache=cache,
+            cache_dir=cache_dir,
+            backend=backend,
+            max_workers=max_workers,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # single compile
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        model: Union[str, Graph],
+        workload: Optional[Workload] = None,
+        options: Optional[CompilerOptions] = None,
+        hardware: Optional[Union[str, DualModeHardwareAbstraction]] = None,
+    ) -> CompiledProgram:
+        """Compile one model (or pre-built graph) through the pipeline.
+
+        Unlike :meth:`compile_batch` this raises on failure — it is the
+        interactive, "give me the program or tell me why not" call.
+
+        Args:
+            model: Registered model name or a :class:`Graph`.
+            workload: Workload for model building (ignored for graphs;
+                defaults to ``Workload()``).
+            options: Per-call override of the session's default options.
+            hardware: Per-call override of the session's hardware.
+
+        Raises:
+            KeyError: Unknown model name.
+            NoFeasiblePlanError: No feasible plan exists for the graph.
+        """
+        graph = (
+            model
+            if isinstance(model, Graph)
+            else build_model(model, workload or Workload())
+        )
+        target = self.hardware if hardware is None else (
+            get_preset(hardware) if isinstance(hardware, str) else hardware
+        )
+        compiler = CMSwitchCompiler(
+            target, options or self.options, cache=self.cache
+        )
+        return compiler.compile(graph)
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def job(
+        self,
+        model: Union[str, Graph],
+        workload: Optional[Workload] = None,
+        options: Optional[CompilerOptions] = None,
+        label: Optional[str] = None,
+    ) -> CompileJob:
+        """A :class:`CompileJob` against this session's hardware.
+
+        Options resolve like :meth:`compile`: the per-call value wins,
+        then session options *explicitly* passed to the constructor;
+        with neither, the job carries ``None`` and the service applies
+        its batch default (code generation off).
+        """
+        if options is None and self._options_given:
+            options = self.options
+        return CompileJob(
+            model,
+            workload=workload,
+            hardware=self.hardware,
+            options=options,
+            label=label,
+        )
+
+    def compile_batch(
+        self,
+        jobs: Sequence[JobLike],
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> List[CompileJobResult]:
+        """Compile many jobs concurrently against the shared cache.
+
+        Args:
+            jobs: :class:`CompileJob` specs; bare model names / graphs
+                are coerced to jobs on the session's hardware.
+            max_workers: Pool-width override for this batch.
+            backend: ``"thread"`` / ``"process"`` override.
+
+        Returns:
+            One :class:`CompileJobResult` per job, input order kept; a
+            failing job is captured in its result, never raised.
+        """
+        coerced = [
+            job if isinstance(job, CompileJob) else self.job(job) for job in jobs
+        ]
+        return self.service.compile_batch(
+            coerced, max_workers=max_workers, backend=backend
+        )
+
+    # ------------------------------------------------------------------ #
+    # design-space exploration
+    # ------------------------------------------------------------------ #
+    def explore(
+        self,
+        space,
+        strategy="grid",
+        objective: str = "latency",
+        budget: Optional[int] = None,
+        state=None,
+        batch_size: int = 8,
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+    ):
+        """Explore a :class:`~repro.dse.DesignSpace` against this cache.
+
+        Builds a :class:`~repro.dse.DSERunner` sharing the session's
+        allocation cache and backend, so exploration warm-starts from
+        (and contributes back to) every other compile the session
+        serves.
+
+        Args:
+            space: The :class:`~repro.dse.DesignSpace` to explore.
+            strategy: Strategy instance or name
+                (``grid``/``random``/``greedy``).
+            objective: ``"latency"`` or ``"energy"``.
+            budget: Max design points to cover (whole space if None).
+            state: Optional resumable :class:`~repro.dse.RunState`.
+            batch_size: Points asked from the strategy per iteration.
+            seed: Seed used when ``strategy`` is given by name.
+            max_workers: Compile-pool width override.
+
+        Returns:
+            The :class:`~repro.dse.DSEResult`.
+        """
+        from .dse import DSERunner
+
+        runner = DSERunner(
+            space,
+            strategy=strategy,
+            objective=objective,
+            cache=self.cache,
+            backend=self.backend,
+            max_workers=(
+                max_workers if max_workers is not None else self.service.max_workers
+            ),
+            state=state,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        return runner.run(budget=budget)
+
+    # ------------------------------------------------------------------ #
+    # cache access
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> Optional[AllocationCache]:
+        """The shared allocation cache (None when caching is disabled)."""
+        return self.service.cache
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The persistent cache directory, when one is configured."""
+        return self.service.cache_dir
+
+    @property
+    def backend(self) -> str:
+        """The session's worker-pool backend."""
+        return self.service.backend
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregate cache counters across everything this session ran."""
+        return self.service.cache_stats
+
+    def describe(self) -> str:
+        """One-line session summary for logs."""
+        cache = (
+            "off"
+            if self.cache is None
+            else (self.cache_dir or "in-memory")
+        )
+        return (
+            f"Session(hardware={self.hardware.name!r}, backend={self.backend!r}, "
+            f"cache={cache})"
+        )

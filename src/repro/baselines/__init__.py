@@ -1,12 +1,22 @@
-"""Baseline CIM compilers used in the paper's comparison (Fig. 14)."""
+"""Baseline CIM compilers used in the paper's comparison (Fig. 14).
+
+Each baseline is a configuration of the shared pass pipeline
+(:mod:`repro.pipeline`): CIM-MLC is the CMSwitch pipeline with memory
+mode pinned off; PUMA and OCC swap in their own segmentation and
+allocation passes (:mod:`repro.baselines.passes`) and reuse the rest.
+"""
 
 from .base import BaselineCompiler
 from .cim_mlc import CIMMLCCompiler
 from .occ import OCCCompiler
+from .passes import BaselineAllocate, BaselineCodegen, BaselineSegment
 from .puma import PUMACompiler
 
 __all__ = [
+    "BaselineAllocate",
+    "BaselineCodegen",
     "BaselineCompiler",
+    "BaselineSegment",
     "CIMMLCCompiler",
     "OCCCompiler",
     "PUMACompiler",

@@ -24,20 +24,12 @@ dual-mode dimension of the optimisation space.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..cost.arithmetic import OperatorProfile
 from ..cost.latency import OperatorAllocation, segment_latency_cycles
-from ..cost.switching import (
-    SegmentResources,
-    aggregate_resources,
-    inter_segment_breakdown,
-)
-from ..core.allocation import GreedyAllocator, MIPAllocator, refine_with_spare_arrays
-from ..core.codegen import generate_program
-from ..core.program import CompiledProgram, SegmentPlan
-from ..core.segmentation import FlattenedUnit, flatten_graph, live_elements_at_boundary
+from ..core.program import CompiledProgram
+from ..core.segmentation import FlattenedUnit
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.graph import Graph
 
@@ -92,68 +84,76 @@ class BaselineCompiler:
         return refined.allocations
 
     # ------------------------------------------------------------------ #
-    # compilation
+    # compilation (a pipeline configuration)
     # ------------------------------------------------------------------ #
+    def build_pipeline(self):
+        """The baseline's pass sequence.
+
+        Shares ``Flatten`` and ``PartitionOversized`` with CMSwitch and
+        swaps in the baseline segmentation / allocation / codegen
+        passes (:mod:`repro.baselines.passes`).  Subclasses may
+        override to customise further.
+        """
+        from ..pipeline import Flatten, PartitionOversized, Pipeline
+        from .passes import BaselineAllocate, BaselineCodegen, BaselineSegment
+
+        return Pipeline(
+            [
+                Flatten(),
+                PartitionOversized(),
+                BaselineSegment(self),
+                BaselineAllocate(self),
+                BaselineCodegen(),
+            ]
+        )
+
     def compile(self, graph: Graph) -> CompiledProgram:
-        """Compile ``graph`` with this baseline's scheduling strategy."""
+        """Compile ``graph`` with this baseline's scheduling strategy.
+
+        Runs :meth:`build_pipeline` over a fresh context — the same
+        runner, context and instrumentation the CMSwitch compiler uses,
+        so baseline programs carry ``stats["pass_seconds"]`` too.  The
+        emitted plans are bit-identical to the pre-pipeline fused loop
+        (asserted by the baseline parity tests).
+        """
+        from ..core.compiler import CompilerOptions
+        from ..pipeline import PipelineContext
+
         start = time.perf_counter()
-        units = flatten_graph(graph, self.hardware)
-        groups = self.segment_boundaries(units) if units else []
-        segments: List[SegmentPlan] = []
-        previous_resources: Optional[SegmentResources] = None
-        for seg_index, indices in enumerate(groups):
-            members = [units[i] for i in indices]
-            profiles = {unit.name: unit.profile for unit in members}
-            allocations = self.allocate(profiles)
-            intra = segment_latency_cycles(
-                profiles, allocations, self.hardware, pipelined=self.pipelined
-            )
-            boundary = indices[-1]
-            live = (
-                live_elements_at_boundary(units, boundary)
-                if boundary + 1 < len(units)
-                else 0
-            )
-            resources = aggregate_resources(
-                profiles,
-                allocations,
-                live_output_elements=live,
-                num_arrays_total=self.hardware.num_arrays,
-            )
-            breakdown = inter_segment_breakdown(
-                previous_resources,
-                resources,
-                profiles,
-                allocations,
-                self.hardware,
-                allow_boundary_buffering=False,
-            )
-            segments.append(
-                SegmentPlan(
-                    index=seg_index,
-                    operator_names=[unit.name for unit in members],
-                    allocations=allocations,
-                    profiles=profiles,
-                    intra_cycles=intra,
-                    inter_cycles=sum(breakdown.values()),
-                    inter_breakdown=breakdown,
-                    resources=resources,
-                )
-            )
-            previous_resources = resources
-        meta_program = None
-        if self.generate_code and segments:
-            meta_program = generate_program(graph.name, segments, self.hardware)
+        options = CompilerOptions(
+            pipelined=self.pipelined,
+            refine=self.duplication,
+            allow_memory_mode=False,
+            fixed_mode_fallback=False,
+            generate_code=self.generate_code,
+        )
+        ctx = PipelineContext(
+            graph=graph,
+            hardware=self.hardware,
+            options=options,
+            compiler_name=self.name,
+            started=start,
+        )
+        self.build_pipeline().run(ctx)
         elapsed = time.perf_counter() - start
         return CompiledProgram(
             graph_name=graph.name,
             compiler_name=self.name,
             hardware=self.hardware,
-            segments=segments,
+            segments=ctx.result.segments,
             block_repeat=float(graph.metadata.get("block_repeat", 1.0)),
             compile_seconds=elapsed,
-            metadata={"graph_metadata": dict(graph.metadata)},
-            meta_program=meta_program,
+            metadata={
+                "graph_metadata": dict(graph.metadata),
+                "passes": [
+                    event.pass_name for event in ctx.trace if event.kind == "end"
+                ],
+            },
+            stats={
+                "wall_seconds": elapsed,
+                "pass_seconds": dict(ctx.pass_seconds),
+            },
+            meta_program=ctx.meta_program,
         )
 
     # ------------------------------------------------------------------ #

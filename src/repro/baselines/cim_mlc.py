@@ -3,10 +3,12 @@
 CIM-MLC is the paper's main baseline and the state of the art it builds
 on: a multi-level compilation stack with **multi-grained pipelining and
 operator duplication**.  CMSwitch explicitly adopts CIM-MLC's kernel
-optimisations, so this baseline is implemented as the CMSwitch pipeline —
-the same flattening, dynamic-programming segmentation, per-segment
-allocation and duplication refinement — with a single difference: every
-array is pinned to compute mode (``allow_memory_mode=False``).  Any
+optimisations, so this baseline is literally a *configuration* of the
+CMSwitch pass pipeline (:mod:`repro.pipeline`) — the same ``Flatten``,
+``PartitionOversized``, ``Segment``, ``Allocate``, ``Refine`` and
+``Codegen`` passes — with a single difference: every array is pinned to
+compute mode (``allow_memory_mode=False``, which also disables the
+``FixedModeFallback`` pass, the plan already being fixed-mode).  Any
 performance difference between the two is therefore attributable to the
 dual-mode dimension of the optimisation space, which is exactly the
 comparison the paper makes.

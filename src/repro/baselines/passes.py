@@ -1,0 +1,154 @@
+"""Pipeline passes that express the fixed-mode baselines.
+
+The PUMA and OCC baselines differ from CMSwitch only in two stages:
+*how operators are grouped into segments* and *how each segment is
+allocated* (minimum all-compute footprint plus optional duplication,
+instead of the DP-driven MIP).  These passes plug exactly those two
+stages into the shared pipeline — ``Flatten`` and
+``PartitionOversized`` are reused verbatim, so a baseline compile is a
+*pipeline configuration*, not a parallel code path, and gets per-pass
+timing stats for free.  (CIM-MLC needs no passes of its own: it is the
+standard CMSwitch pipeline with memory mode pinned off.)
+
+The plan construction here mirrors the frozen pre-pipeline loop
+(:func:`repro.core._reference.reference_baseline_compile`) operator for
+operator; the baseline parity tests assert bit-identical programs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..core.codegen import generate_program
+from ..core.program import SegmentPlan
+from ..core.segmentation import SegmentationResult, live_elements_at_boundary
+from ..cost.latency import segment_latency_cycles
+from ..cost.switching import (
+    SegmentResources,
+    aggregate_resources,
+    inter_segment_breakdown,
+)
+from ..pipeline.context import PipelineContext
+from ..pipeline.passes import Pass
+
+__all__ = ["BaselineAllocate", "BaselineCodegen", "BaselineSegment"]
+
+#: Context key the segment pass hands its groups to the allocate pass on.
+GROUPS_KEY = "baseline_groups"
+
+
+class BaselineSegment(Pass):
+    """Group units with the baseline's segmentation strategy.
+
+    Delegates to the owning compiler's ``segment_boundaries`` hook
+    (greedy chip-filling packing for PUMA, one-operator-per-segment for
+    OCC), so subclass strategies keep working unchanged.
+    """
+
+    name = "segment"
+
+    def __init__(self, baseline) -> None:
+        self.baseline = baseline
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.units is None:
+            raise RuntimeError("BaselineSegment requires the PartitionOversized pass")
+        ctx.extras[GROUPS_KEY] = (
+            self.baseline.segment_boundaries(ctx.units) if ctx.units else []
+        )
+
+
+class BaselineAllocate(Pass):
+    """Fixed-mode allocation and plan construction for every group.
+
+    Minimum compute footprint per operator via the compiler's
+    ``allocate`` hook (with its duplication refinement, when enabled),
+    then the same latency / liveness / inter-segment accounting the
+    fused baseline loop performed.
+    """
+
+    name = "allocate"
+
+    def __init__(self, baseline) -> None:
+        self.baseline = baseline
+
+    def run(self, ctx: PipelineContext) -> None:
+        start = time.perf_counter()
+        groups = ctx.extras.pop(GROUPS_KEY, None)
+        if groups is None:
+            raise RuntimeError("BaselineAllocate requires the BaselineSegment pass")
+        units = ctx.units
+        hardware = ctx.hardware
+        baseline = self.baseline
+        segments: List[SegmentPlan] = []
+        previous_resources: Optional[SegmentResources] = None
+        for seg_index, indices in enumerate(groups):
+            members = [units[i] for i in indices]
+            profiles = {unit.name: unit.profile for unit in members}
+            allocations = baseline.allocate(profiles)
+            intra = segment_latency_cycles(
+                profiles, allocations, hardware, pipelined=baseline.pipelined
+            )
+            boundary = indices[-1]
+            live = (
+                live_elements_at_boundary(units, boundary)
+                if boundary + 1 < len(units)
+                else 0
+            )
+            resources = aggregate_resources(
+                profiles,
+                allocations,
+                live_output_elements=live,
+                num_arrays_total=hardware.num_arrays,
+            )
+            breakdown = inter_segment_breakdown(
+                previous_resources,
+                resources,
+                profiles,
+                allocations,
+                hardware,
+                allow_boundary_buffering=False,
+            )
+            segments.append(
+                SegmentPlan(
+                    index=seg_index,
+                    operator_names=[unit.name for unit in members],
+                    allocations=allocations,
+                    profiles=profiles,
+                    intra_cycles=intra,
+                    inter_cycles=sum(breakdown.values()),
+                    inter_breakdown=breakdown,
+                    resources=resources,
+                )
+            )
+            previous_resources = resources
+        ctx.result = SegmentationResult(
+            segments,
+            list(units),
+            time.perf_counter() - start,
+            0,
+        )
+        ctx.dp_seconds = ctx.result.dp_seconds
+
+
+class BaselineCodegen(Pass):
+    """Lower baseline plans to the meta-operator flow.
+
+    Unlike the CMSwitch ``Codegen`` pass this one carries no
+    feasibility guard: the fused baseline loop generated code for
+    whatever plan it built (baselines have no fallback arbitration and
+    never raise ``NoFeasiblePlanError``), and parity preserves that.
+    """
+
+    name = "codegen"
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        return bool(ctx.options.generate_code)
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.result is None or not ctx.result.segments:
+            return
+        ctx.meta_program = generate_program(
+            ctx.graph.name, ctx.result.segments, ctx.hardware
+        )

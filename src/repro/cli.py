@@ -1,7 +1,12 @@
 """Command-line interface for the CMSwitch reproduction.
 
 Installed as ``python -m repro.cli`` (or used programmatically through
-:func:`main`).  Sub-commands:
+:func:`main`).  Every compile-shaped sub-command is a thin shim over
+:class:`repro.api.Session` — the CLI builds one session (hardware,
+cache directory, backend, pool width) and routes the work through it,
+so the command line and the Python API cannot drift apart.  Unknown
+model names exit with code 2 and the list of registered models, never
+a raw traceback.  Sub-commands:
 
 * ``models`` — list the registered benchmark networks.
 * ``hardware`` — show a hardware preset's DEHA parameters.
@@ -43,11 +48,36 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .api import Session
 from .baselines import CIMMLCCompiler, OCCCompiler, PUMACompiler
-from .core.compiler import CMSwitchCompiler, CompilerOptions
+from .core.compiler import CompilerOptions
 from .hardware.presets import PRESETS, get_preset
-from .models.registry import build_model, is_transformer, list_models
+from .models.registry import is_transformer, list_models
 from .models.workload import Phase, Workload
+
+
+def _reject_unknown_models(models: Sequence[str]) -> Optional[int]:
+    """Shared unknown-model handling: exit code 2 + the available names.
+
+    Every sub-command that accepts model names calls this before doing
+    any work, so a typo produces the same two-line error (and the list
+    of registered models) everywhere instead of a command-specific
+    traceback.
+
+    Returns:
+        ``2`` when any name is unknown (after printing the error to
+        stderr), ``None`` when all names are registered.
+    """
+    known = set(list_models())
+    unknown = [name for name in models if name not in known]
+    if not unknown:
+        return None
+    print(
+        f"error: unknown model name(s): {', '.join(unknown)}\n"
+        f"available models: {', '.join(list_models())}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _workload_for_model(model: str, args: argparse.Namespace) -> Workload:
@@ -97,10 +127,15 @@ def cmd_hardware(args: argparse.Namespace) -> int:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     """Compile one model and print the plan."""
-    hardware = get_preset(args.hardware)
-    graph = build_model(args.model, _workload_from_args(args))
-    options = CompilerOptions(generate_code=args.show_metaops)
-    program = CMSwitchCompiler(hardware, options).compile(graph)
+    failure = _reject_unknown_models([args.model])
+    if failure is not None:
+        return failure
+    session = Session(hardware=args.hardware)
+    program = session.compile(
+        args.model,
+        workload=_workload_from_args(args),
+        options=CompilerOptions(generate_code=args.show_metaops),
+    )
     print(program.summary())
     if args.show_segments:
         print()
@@ -113,9 +148,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_compile_batch(args: argparse.Namespace) -> int:
-    """Compile several models through the batch service and print stats."""
-    from .service import CompileJob, CompileService
-
+    """Compile several models through a session and print stats."""
     if not args.models:
         print(
             "error: compile-batch requires at least one model name\n"
@@ -125,22 +158,25 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    failure = _reject_unknown_models(args.models)
+    if failure is not None:
+        return failure
 
-    hardware = get_preset(args.hardware)
-    jobs = []
-    for round_index in range(max(1, args.repeat)):
-        for model in args.models:
-            workload = _workload_for_model(model, args)
-            label = model if args.repeat <= 1 else f"{model}#{round_index + 1}"
-            jobs.append(CompileJob(model, workload=workload, hardware=hardware, label=label))
-
-    service = CompileService(
+    session = Session(
+        hardware=args.hardware,
         max_workers=args.jobs,
         use_cache=not args.no_cache,
         backend=args.backend,
         cache_dir=args.cache_dir,
     )
-    results = service.compile_batch(jobs)
+    jobs = []
+    for round_index in range(max(1, args.repeat)):
+        for model in args.models:
+            workload = _workload_for_model(model, args)
+            label = model if args.repeat <= 1 else f"{model}#{round_index + 1}"
+            jobs.append(session.job(model, workload=workload, label=label))
+
+    results = session.compile_batch(jobs)
 
     header = (
         f"{'job':16s} {'latency (ms)':>13s} {'segments':>9s} {'solves':>7s} "
@@ -168,17 +204,28 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
             f"{100.0 * stats.get('allocation_cache_hit_rate', 0.0):8.1f}% "
             f"{result.wall_seconds:9.3f}"
         )
+    pass_totals: dict = {}
+    for result in results:
+        for pass_name, seconds in (result.stats.get("pass_seconds") or {}).items():
+            pass_totals[pass_name] = pass_totals.get(pass_name, 0.0) + seconds
+    if pass_totals:
+        print(
+            "pass wall time: "
+            + " | ".join(
+                f"{name} {seconds:.3f}s" for name, seconds in pass_totals.items()
+            )
+        )
     if args.backend == "thread":
-        aggregate = service.cache_stats
+        aggregate = session.cache_stats
         print(
             f"cache: {aggregate.hits} hits / {aggregate.lookups} lookups "
             f"({100.0 * aggregate.hit_rate:.1f}%), {aggregate.evictions} evictions"
         )
-        if service.cache is not None and service.cache.store is not None:
-            disk = service.cache.store.stats
+        if session.cache is not None and session.cache.store is not None:
+            disk = session.cache.store.stats
             print(
                 f"disk store: {disk.hits} hits, {disk.stores} stores, "
-                f"{disk.evictions} evictions ({service.cache.store.root})"
+                f"{disk.evictions} evictions ({session.cache.store.root})"
             )
     elif args.cache_dir:
         # Process workers keep their own store instances; the per-job rows
@@ -201,15 +248,22 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Compile with every compiler and print normalised latencies."""
-    hardware = get_preset(args.hardware)
-    graph = build_model(args.model, _workload_from_args(args))
+    failure = _reject_unknown_models([args.model])
+    if failure is not None:
+        return failure
+    session = Session(
+        hardware=args.hardware, options=CompilerOptions(generate_code=False)
+    )
+    hardware = session.hardware
+    workload = _workload_from_args(args)
     compilers = {
         "puma": PUMACompiler(hardware),
         "occ": OCCCompiler(hardware),
         "cim-mlc": CIMMLCCompiler(hardware),
-        "cmswitch": CMSwitchCompiler(hardware, CompilerOptions(generate_code=False)),
     }
+    graph = session.job(args.model, workload=workload).resolve_graph()
     results = {name: compiler.compile(graph) for name, compiler in compilers.items()}
+    results["cmswitch"] = session.compile(graph)
     baseline = results["cim-mlc"].end_to_end_cycles
     print(f"{'compiler':10s} {'latency (ms)':>14s} {'vs CIM-MLC':>12s} {'memory arrays':>14s}")
     for name, program in results.items():
@@ -305,9 +359,12 @@ def _parse_age(text: str) -> float:
 
 def cmd_dse(args: argparse.Namespace) -> int:
     """Explore a design space and print/persist the Pareto report."""
-    from .dse import DesignSpace, DSERunner, RunState, RunStateError, make_strategy
+    from .dse import DesignSpace, RunState, RunStateError, make_strategy
 
     models = args.models or ["tiny-cnn"]
+    failure = _reject_unknown_models(models)
+    if failure is not None:
+        return failure
     hardware = get_preset(args.hardware)
     arrays = args.arrays
     if arrays is None:
@@ -362,18 +419,21 @@ def cmd_dse(args: argparse.Namespace) -> int:
     if state.completed:
         print(f"resume: {len(state.completed)} completed point(s) on record")
 
+    session = Session(
+        hardware=hardware,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        max_workers=args.jobs,
+    )
     with state:
-        runner = DSERunner(
+        result = session.explore(
             space,
             strategy=make_strategy(args.strategy, seed=args.seed),
             objective=args.objective,
-            cache_dir=args.cache_dir,
-            backend=args.backend,
-            max_workers=args.jobs,
+            budget=args.budget,
             state=state,
             seed=args.seed,
         )
-        result = runner.run(budget=args.budget)
 
     # Infeasible design points (feasible=False, failed=False) are a
     # legitimate exploration outcome, not a failure exit.

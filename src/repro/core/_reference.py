@@ -1,0 +1,206 @@
+"""Frozen pre-pipeline compile paths — the parity oracles.
+
+This module preserves, verbatim, the *fused* compile loops that
+:class:`~repro.core.compiler.CMSwitchCompiler` and
+:class:`~repro.baselines.base.BaselineCompiler` ran before the compile
+path was decomposed into the named passes of :mod:`repro.pipeline`.
+The parity test suite compiles every model through both the pass-based
+pipeline and these references and asserts the programs are bit-identical
+(:meth:`~repro.core.program.CompiledProgram.fingerprint`), which is what
+lets the pipeline refactor claim "same compiler, new shape".
+
+Nothing outside the tests should import this module.  It intentionally
+calls the same primitives the passes call (segmenter, allocators, cost
+model, code generator) — the point of the oracle is to prove that
+*re-ordering and splitting* the orchestration changed nothing, not to
+duplicate the numerics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Optional
+
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..ir.graph import Graph
+from .cache import AllocationCache
+from .codegen import generate_program
+from .program import CompiledProgram, SegmentPlan
+from .segmentation import NetworkSegmenter, NoFeasiblePlanError
+
+
+def reference_compile(
+    graph: Graph,
+    hardware: DualModeHardwareAbstraction,
+    options=None,
+    cache: Optional[AllocationCache] = None,
+) -> CompiledProgram:
+    """The pre-refactor ``CMSwitchCompiler.compile`` body, frozen.
+
+    Dual-mode segmentation, optional fixed-mode fallback pass,
+    ``choose_plan`` arbitration, feasibility check, code generation —
+    all in one fused function, exactly as the compiler ran it before
+    :mod:`repro.pipeline` existed.
+    """
+    from .compiler import CompilerOptions, choose_plan, plan_cost
+
+    options = options or CompilerOptions()
+    start = time.perf_counter()
+    segmenter = NetworkSegmenter(
+        hardware, options.to_segmentation_options(), cache=cache
+    )
+    result = segmenter.segment(graph)
+    fallback_used = False
+    allocation_calls = result.allocation_calls
+    cache_hits = result.cache_hits
+    disk_hits = result.disk_hits
+    if options.allow_memory_mode and options.fixed_mode_fallback:
+        fixed_options = options.to_segmentation_options()
+        fixed_options.allow_memory_mode = False
+        try:
+            fixed_result = NetworkSegmenter(
+                hardware, fixed_options, cache=cache
+            ).segment(graph)
+        except NoFeasiblePlanError as exc:
+            allocation_calls += exc.stats.get("allocator_solves", 0)
+            cache_hits += exc.stats.get("allocation_cache_hits", 0)
+            disk_hits += exc.stats.get("allocation_disk_hits", 0)
+        else:
+            allocation_calls += fixed_result.allocation_calls
+            cache_hits += fixed_result.cache_hits
+            disk_hits += fixed_result.disk_hits
+            result, fallback_used = choose_plan(result, fixed_result)
+    final_cost = plan_cost(result)
+    if result.segments and not math.isfinite(final_cost):
+        attempts = allocation_calls + cache_hits
+        raise NoFeasiblePlanError(
+            f"no feasible execution plan for graph {graph.name!r} on "
+            f"{hardware.name!r}: every evaluated plan has infinite cost",
+            stats={
+                "allocator_solves": allocation_calls,
+                "allocation_cache_hits": cache_hits,
+                "allocation_disk_hits": disk_hits,
+                "allocation_cache_hit_rate": (
+                    cache_hits / attempts if attempts else 0.0
+                ),
+                "wall_seconds": time.perf_counter() - start,
+            },
+        )
+    meta_program = None
+    if options.generate_code and result.segments:
+        meta_program = generate_program(graph.name, result.segments, hardware)
+    elapsed = time.perf_counter() - start
+    block_repeat = float(graph.metadata.get("block_repeat", 1.0))
+    solve_attempts = allocation_calls + cache_hits
+    stats = {
+        "allocator_solves": allocation_calls,
+        "allocation_cache_hits": cache_hits,
+        "allocation_disk_hits": disk_hits,
+        "allocation_cache_hit_rate": (
+            cache_hits / solve_attempts if solve_attempts else 0.0
+        ),
+        "wall_seconds": elapsed,
+    }
+    return CompiledProgram(
+        graph_name=graph.name,
+        compiler_name="cmswitch",
+        hardware=hardware,
+        segments=result.segments,
+        block_repeat=block_repeat,
+        compile_seconds=elapsed,
+        metadata={
+            "graph_metadata": dict(graph.metadata),
+            "options": {
+                "max_segment_operators": options.max_segment_operators,
+                "pipelined": options.pipelined,
+                "include_switch_cost": options.include_switch_cost,
+                "use_milp": options.use_milp,
+                "refine": options.refine,
+                "allow_memory_mode": options.allow_memory_mode,
+            },
+            "num_flattened_units": len(result.units),
+            "allocation_calls": allocation_calls,
+            "dp_seconds": result.dp_seconds,
+            "fixed_mode_fallback_used": fallback_used,
+        },
+        stats=stats,
+        meta_program=meta_program,
+    )
+
+
+def reference_baseline_compile(baseline, graph: Graph) -> CompiledProgram:
+    """The pre-refactor ``BaselineCompiler.compile`` body, frozen.
+
+    ``baseline`` is a live PUMA/OCC/CIM-MLC-style instance — its
+    ``segment_boundaries`` and ``allocate`` strategy hooks are invoked
+    exactly as the fused loop invoked them.
+    """
+    from ..cost.latency import segment_latency_cycles
+    from ..cost.switching import (
+        SegmentResources,
+        aggregate_resources,
+        inter_segment_breakdown,
+    )
+    from .segmentation import flatten_graph, live_elements_at_boundary
+
+    hardware = baseline.hardware
+    start = time.perf_counter()
+    units = flatten_graph(graph, hardware)
+    groups = baseline.segment_boundaries(units) if units else []
+    segments: List[SegmentPlan] = []
+    previous_resources: Optional[SegmentResources] = None
+    for seg_index, indices in enumerate(groups):
+        members = [units[i] for i in indices]
+        profiles = {unit.name: unit.profile for unit in members}
+        allocations = baseline.allocate(profiles)
+        intra = segment_latency_cycles(
+            profiles, allocations, hardware, pipelined=baseline.pipelined
+        )
+        boundary = indices[-1]
+        live = (
+            live_elements_at_boundary(units, boundary)
+            if boundary + 1 < len(units)
+            else 0
+        )
+        resources = aggregate_resources(
+            profiles,
+            allocations,
+            live_output_elements=live,
+            num_arrays_total=hardware.num_arrays,
+        )
+        breakdown = inter_segment_breakdown(
+            previous_resources,
+            resources,
+            profiles,
+            allocations,
+            hardware,
+            allow_boundary_buffering=False,
+        )
+        segments.append(
+            SegmentPlan(
+                index=seg_index,
+                operator_names=[unit.name for unit in members],
+                allocations=allocations,
+                profiles=profiles,
+                intra_cycles=intra,
+                inter_cycles=sum(breakdown.values()),
+                inter_breakdown=breakdown,
+                resources=resources,
+            )
+        )
+        previous_resources = resources
+    meta_program = None
+    if baseline.generate_code and segments:
+        meta_program = generate_program(graph.name, segments, hardware)
+    elapsed = time.perf_counter() - start
+    return CompiledProgram(
+        graph_name=graph.name,
+        compiler_name=baseline.name,
+        hardware=hardware,
+        segments=segments,
+        block_repeat=float(graph.metadata.get("block_repeat", 1.0)),
+        compile_seconds=elapsed,
+        metadata={"graph_metadata": dict(graph.metadata)},
+        meta_program=meta_program,
+    )

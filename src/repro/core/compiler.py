@@ -1,8 +1,6 @@
-"""CMSwitch compiler facade.
+"""CMSwitch compiler facade over the pass-based pipeline.
 
-:class:`CMSwitchCompiler` is the public entry point of the library: it
-takes a computation graph and a dual-mode hardware abstraction and runs
-the full DACO pipeline of the paper —
+:class:`CMSwitchCompiler` runs the full DACO pipeline of the paper —
 
 1. flatten the graph and partition oversized operators,
 2. dynamic-programming network segmentation with mode-switch awareness,
@@ -10,34 +8,59 @@ the full DACO pipeline of the paper —
    scheduling and weight-duplication refinement,
 4. code generation into the dual-mode meta-operator flow (DMO).
 
-The result is a :class:`~repro.core.program.CompiledProgram` that the
-timing and functional simulators (and the benchmark harness) consume.
+Since the pipeline refactor the stages are named, composable
+:class:`~repro.pipeline.passes.Pass` objects executed by a
+:class:`~repro.pipeline.pipeline.Pipeline` (see :mod:`repro.pipeline`);
+this class builds the standard pass sequence, runs it and finalises the
+:class:`~repro.core.program.CompiledProgram` that the timing and
+functional simulators (and the benchmark harness) consume.  Per-pass
+wall times ride on ``CompiledProgram.stats["pass_seconds"]``.
+
+For application code prefer :class:`repro.api.Session`, the stable
+facade over compile / batch / DSE / cache; this module remains the
+compiler engine underneath it.
 """
 
 from __future__ import annotations
 
-import math
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from ..cost.latency import guard_infeasible
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.graph import Graph
 from .cache import AllocationCache
 from .program import CompiledProgram
-from .codegen import generate_program
-from .segmentation import NetworkSegmenter, SegmentationOptions, SegmentationResult
+from .segmentation import SegmentationOptions, validate_window
 
-
-# Re-exported here (its historical home); defined next to the segmenter,
-# which raises it for unmappable segments.
-from .segmentation import NoFeasiblePlanError  # noqa: E402  (public re-export)
+# Public re-exports (their historical home).  ``NoFeasiblePlanError`` is
+# defined next to the segmenter, which raises it for unmappable
+# segments; the plan-arbitration helpers moved to the segmentation
+# module when the pipeline package was introduced (it needs them without
+# importing this facade).
+from .segmentation import (  # noqa: F401  (public re-exports)
+    NoFeasiblePlanError,
+    choose_plan,
+    plan_arrays,
+    plan_cost,
+)
 
 
 @dataclass
 class CompilerOptions:
     """User-facing compilation options.
+
+    Validated on construction: ``max_segment_operators`` must be an
+    ``int`` >= 1 (a clear :class:`ValueError` instead of a deep solver
+    failure).  With ``allow_memory_mode=False`` the
+    ``fixed_mode_fallback`` flag is meaningless (the primary plan *is*
+    fixed-mode): the compiler ignores it, and solve-relevant option
+    signatures (DSE point keys — see
+    :func:`repro.dse.space.options_signature`) canonicalise it away so
+    the two spellings name one configuration.  The field itself is left
+    untouched, so re-enabling memory mode (e.g. a
+    ``dataclasses.replace`` along a DSE axis) restores the fallback.
 
     Attributes:
         max_segment_operators: DP window — maximum operators per segment.
@@ -66,6 +89,9 @@ class CompilerOptions:
     fixed_mode_fallback: bool = True
     generate_code: bool = True
 
+    def __post_init__(self) -> None:
+        validate_window(self.max_segment_operators)
+
     def to_segmentation_options(self) -> SegmentationOptions:
         """Translate to the segmentation pass options."""
         return SegmentationOptions(
@@ -76,45 +102,6 @@ class CompilerOptions:
             use_milp=self.use_milp,
             refine=self.refine,
         )
-
-
-def plan_cost(result: SegmentationResult) -> float:
-    """Comparable cost of a segmentation plan (NaN collapsed to ``inf``)."""
-    return guard_infeasible(result.total_cycles)
-
-
-def plan_arrays(result: SegmentationResult) -> int:
-    """Total arrays (compute + memory + boundary) a plan occupies."""
-    return sum(
-        segment.compute_arrays + segment.memory_arrays for segment in result.segments
-    )
-
-
-def choose_plan(
-    dual: SegmentationResult, fixed: SegmentationResult
-) -> Tuple[SegmentationResult, bool]:
-    """Pick between the dual-mode plan and the fixed-mode fallback plan.
-
-    The comparison is robust to :data:`INFEASIBLE_LATENCY` and NaN costs:
-
-    * if both plans are infeasible the dual-mode plan is returned (the
-      caller raises :class:`NoFeasiblePlanError`) — never a silent
-      ``inf < inf`` keep;
-    * a strictly cheaper fixed-mode plan wins;
-    * on an exact finite tie the fixed-mode plan wins only when it
-      occupies fewer arrays (same latency for less hardware).
-
-    Returns:
-        ``(chosen_result, fallback_used)``.
-    """
-    dual_cost = plan_cost(dual)
-    fixed_cost = plan_cost(fixed)
-    if fixed_cost < dual_cost:
-        return fixed, True
-    if fixed_cost == dual_cost and math.isfinite(fixed_cost):
-        if plan_arrays(fixed) < plan_arrays(dual):
-            return fixed, True
-    return dual, False
 
 
 class CMSwitchCompiler:
@@ -128,8 +115,12 @@ class CMSwitchCompiler:
             pass's MILP solutions (and vice versa, where valid), and
             repeated compiles of the same network skip the solver
             entirely.  Pass one cache to many compilers (or use
-            :class:`repro.service.CompileService`) to share it between
-            compile requests.
+            :class:`repro.api.Session`) to share it between compile
+            requests.
+        pipeline: Optional custom :class:`~repro.pipeline.Pipeline`; the
+            standard pass sequence when omitted.  A fresh context is
+            created per compile, so one compiler (and one pipeline) can
+            serve many graphs.
 
     Example:
         >>> from repro.hardware import dynaplasia
@@ -147,111 +138,47 @@ class CMSwitchCompiler:
         hardware: DualModeHardwareAbstraction,
         options: Optional[CompilerOptions] = None,
         cache: Optional[AllocationCache] = None,
+        pipeline=None,
     ) -> None:
+        from ..pipeline import build_pipeline
+
         self.hardware = hardware
         self.options = options or CompilerOptions()
         self.cache = cache
+        self.pipeline = pipeline if pipeline is not None else build_pipeline()
 
     def compile(self, graph: Graph) -> CompiledProgram:
         """Compile a graph into a dual-mode execution plan.
+
+        Runs the pass pipeline over a fresh
+        :class:`~repro.pipeline.context.PipelineContext` and finalises
+        the program.
 
         Args:
             graph: The computation graph (typically from
                 :func:`repro.models.build_model`).
 
         Returns:
-            The compiled program with segment plans, predicted latency and,
-            when ``generate_code`` is enabled, the meta-operator flow.
+            The compiled program with segment plans, predicted latency,
+            per-pass timing stats and, when ``generate_code`` is
+            enabled, the meta-operator flow.
 
         Raises:
             NoFeasiblePlanError: If no pass produces a feasible plan for a
                 non-empty graph.
         """
-        start = time.perf_counter()
-        segmenter = NetworkSegmenter(
-            self.hardware, self.options.to_segmentation_options(), cache=self.cache
-        )
-        result = segmenter.segment(graph)
-        fallback_used = False
-        allocation_calls = result.allocation_calls
-        cache_hits = result.cache_hits
-        disk_hits = result.disk_hits
-        if self.options.allow_memory_mode and self.options.fixed_mode_fallback:
-            fixed_options = self.options.to_segmentation_options()
-            fixed_options.allow_memory_mode = False
-            try:
-                fixed_result = NetworkSegmenter(
-                    self.hardware, fixed_options, cache=self.cache
-                ).segment(graph)
-            except NoFeasiblePlanError as exc:
-                # The fallback pass proving fixed-mode infeasible does not
-                # invalidate the dual-mode plan — keep it, and keep the
-                # fallback pass's solver work in the totals.
-                allocation_calls += exc.stats.get("allocator_solves", 0)
-                cache_hits += exc.stats.get("allocation_cache_hits", 0)
-                disk_hits += exc.stats.get("allocation_disk_hits", 0)
-            else:
-                allocation_calls += fixed_result.allocation_calls
-                cache_hits += fixed_result.cache_hits
-                disk_hits += fixed_result.disk_hits
-                result, fallback_used = choose_plan(result, fixed_result)
-        final_cost = plan_cost(result)
-        if result.segments and not math.isfinite(final_cost):
-            attempts = allocation_calls + cache_hits
-            raise NoFeasiblePlanError(
-                f"no feasible execution plan for graph {graph.name!r} on "
-                f"{self.hardware.name!r}: every evaluated plan has infinite cost",
-                stats={
-                    "allocator_solves": allocation_calls,
-                    "allocation_cache_hits": cache_hits,
-                    "allocation_disk_hits": disk_hits,
-                    "allocation_cache_hit_rate": (
-                        cache_hits / attempts if attempts else 0.0
-                    ),
-                    "wall_seconds": time.perf_counter() - start,
-                },
-            )
-        meta_program = None
-        if self.options.generate_code and result.segments:
-            meta_program = generate_program(graph.name, result.segments, self.hardware)
-        elapsed = time.perf_counter() - start
-        block_repeat = float(graph.metadata.get("block_repeat", 1.0))
-        solve_attempts = allocation_calls + cache_hits
-        stats = {
-            "allocator_solves": allocation_calls,
-            "allocation_cache_hits": cache_hits,
-            "allocation_disk_hits": disk_hits,
-            "allocation_cache_hit_rate": (
-                cache_hits / solve_attempts if solve_attempts else 0.0
-            ),
-            "wall_seconds": elapsed,
-        }
-        program = CompiledProgram(
-            graph_name=graph.name,
-            compiler_name=self.name,
+        from ..pipeline import PipelineContext, finalize
+
+        ctx = PipelineContext(
+            graph=graph,
             hardware=self.hardware,
-            segments=result.segments,
-            block_repeat=block_repeat,
-            compile_seconds=elapsed,
-            metadata={
-                "graph_metadata": dict(graph.metadata),
-                "options": {
-                    "max_segment_operators": self.options.max_segment_operators,
-                    "pipelined": self.options.pipelined,
-                    "include_switch_cost": self.options.include_switch_cost,
-                    "use_milp": self.options.use_milp,
-                    "refine": self.options.refine,
-                    "allow_memory_mode": self.options.allow_memory_mode,
-                },
-                "num_flattened_units": len(result.units),
-                "allocation_calls": allocation_calls,
-                "dp_seconds": result.dp_seconds,
-                "fixed_mode_fallback_used": fallback_used,
-            },
-            stats=stats,
-            meta_program=meta_program,
+            options=self.options,
+            cache=self.cache,
+            compiler_name=self.name,
+            started=time.perf_counter(),
         )
-        return program
+        self.pipeline.run(ctx)
+        return finalize(ctx)
 
 
 def compile_model(
@@ -260,5 +187,26 @@ def compile_model(
     options: Optional[CompilerOptions] = None,
     cache: Optional[AllocationCache] = None,
 ) -> CompiledProgram:
-    """Convenience wrapper: compile ``graph`` with :class:`CMSwitchCompiler`."""
-    return CMSwitchCompiler(hardware, options, cache=cache).compile(graph)
+    """Deprecated: compile ``graph`` with :class:`CMSwitchCompiler`.
+
+    .. deprecated:: 0.4
+        Use :meth:`repro.api.Session.compile` — one session object
+        carries the hardware, cache and backend for every compile, batch
+        and DSE entry point.  This shim delegates to a throwaway session
+        and produces bit-identical programs.
+    """
+    warnings.warn(
+        "repro.compile_model() is deprecated; use repro.api.Session"
+        "(hardware=...).compile(graph) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Session
+
+    session = Session(
+        hardware=hardware,
+        cache=cache,
+        use_cache=cache is not None,
+        options=options or CompilerOptions(),
+    )
+    return session.compile(graph)

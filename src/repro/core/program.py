@@ -10,6 +10,8 @@ code generator additionally lowers the schedule to a meta-operator flow
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
@@ -177,6 +179,69 @@ class CompiledProgram:
             return sum(s.memory_array_ratio for s in segments) / len(segments)
         weighted = sum(s.memory_array_ratio * s.intra_cycles for s in self.segments)
         return weighted / total_time
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the program's *semantic* content.
+
+        Covers everything that defines the compiled artifact — graph
+        and compiler names, hardware fingerprint, block repeat, every
+        segment's operators / allocations / latencies / transition
+        breakdown / resources / boundary buffers, and the rendered
+        meta-operator flow.  Deliberately excludes wall-clock material
+        (``compile_seconds``, ``stats``, ``metadata``): two compiles of
+        the same graph are *bit-identical* exactly when their
+        fingerprints match, regardless of how long they took or which
+        cache tier served the solves.  Floats are hex-encoded so the
+        digest captures their exact bits, not a decimal rounding.
+        """
+
+        def _float(value: float) -> str:
+            return float(value).hex()
+
+        def _resources(resources) -> Optional[List]:
+            if resources is None:
+                return None
+            return [
+                resources.compute_arrays,
+                resources.memory_arrays,
+                resources.live_output_elements,
+                resources.static_weight_elements,
+                resources.idle_arrays,
+            ]
+
+        payload = {
+            "graph_name": self.graph_name,
+            "compiler_name": self.compiler_name,
+            "hardware": self.hardware.fingerprint(),
+            "block_repeat": _float(self.block_repeat),
+            "segments": [
+                {
+                    "index": segment.index,
+                    "operators": list(segment.operator_names),
+                    "allocations": {
+                        name: [alloc.compute_arrays, alloc.memory_arrays]
+                        for name, alloc in segment.allocations.items()
+                    },
+                    "intra": _float(segment.intra_cycles),
+                    "inter": _float(segment.inter_cycles),
+                    "breakdown": {
+                        key: _float(value)
+                        for key, value in segment.inter_breakdown.items()
+                    },
+                    "resources": _resources(segment.resources),
+                    "boundary_memory_arrays": segment.boundary_memory_arrays,
+                }
+                for segment in self.segments
+            ],
+            "meta_program": (
+                self.meta_program.render() if self.meta_program is not None else None
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -16,12 +16,13 @@ most once.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cost.arithmetic import OperatorProfile, profile_operator
-from ..cost.latency import INFEASIBLE_LATENCY
+from ..cost.latency import INFEASIBLE_LATENCY, guard_infeasible
 from ..cost.switching import (
     SegmentResources,
     aggregate_resources,
@@ -93,11 +94,39 @@ class SegmentationOptions:
     refine: bool = True
     single_segment_fallback: bool = True
 
+    def __post_init__(self) -> None:
+        validate_window(self.max_segment_operators)
+
     def build_allocator(self):
         """Instantiate the configured per-segment allocation engine."""
         if self.use_milp:
             return MIPAllocator(allow_memory_mode=self.allow_memory_mode)
         return GreedyAllocator(allow_memory_mode=self.allow_memory_mode)
+
+
+def validate_window(max_segment_operators) -> None:
+    """Validate a DP-window size at option-construction time.
+
+    The window bounds both compile time and segment length; a
+    non-integer or non-positive value used to surface only deep inside
+    the DP (a ``TypeError`` from ``range``, or an empty DP that looks
+    like infeasibility).  Raising here turns a mis-typed option into an
+    immediate, named error.
+
+    Raises:
+        ValueError: If the value is not an ``int`` >= 1.
+    """
+    if isinstance(max_segment_operators, bool) or not isinstance(
+        max_segment_operators, int
+    ):
+        raise ValueError(
+            f"max_segment_operators must be an int >= 1, got "
+            f"{max_segment_operators!r}"
+        )
+    if max_segment_operators < 1:
+        raise ValueError(
+            f"max_segment_operators must be >= 1, got {max_segment_operators}"
+        )
 
 
 @dataclass
@@ -120,47 +149,104 @@ class FlattenedUnit:
     live_until: int
 
 
-def flatten_graph(
-    graph: Graph, hardware: DualModeHardwareAbstraction
-) -> List[FlattenedUnit]:
-    """Flatten a graph into schedulable units that each fit on the chip.
+@dataclass
+class ProfiledOperator:
+    """One CIM-mappable operator after profiling, before partitioning.
 
-    CIM-mappable operators are profiled (auxiliary traffic folded in) and
-    any operator whose stationary operand exceeds the whole chip is split
-    by :func:`repro.ir.transforms.partition_operator` with the chip
-    capacity as the budget — the paper's greedy partitioning "determined
-    by the available on-chip resources".
+    The intermediate product between the pipeline's ``Flatten`` pass
+    (profile every mappable operator, fold auxiliary traffic in) and its
+    ``PartitionOversized`` pass (shard the operators whose stationary
+    operand exceeds the chip).
+
+    Attributes:
+        operator: The IR operator.
+        profile: Its cost profile with auxiliary traffic folded in.
+        extra_streamed: Auxiliary traffic attributed to this operator
+            (re-spread over shards when the operator is partitioned).
+        oversized: Whether the operator's minimum compute footprint
+            exceeds the whole chip and it must be partitioned.
+    """
+
+    operator: object
+    profile: OperatorProfile
+    extra_streamed: int
+    oversized: bool
+
+
+def profile_graph(
+    graph: Graph, hardware: DualModeHardwareAbstraction
+) -> List[ProfiledOperator]:
+    """Profile the CIM-mappable operators (the pipeline's Flatten step).
+
+    Auxiliary-operator traffic is folded into the nearest mappable
+    neighbour and each operator is marked oversized when its minimum
+    compute footprint exceeds the chip.
     """
     extra_traffic = fuse_auxiliary_traffic(graph)
-    cim_ops = graph.cim_operators()
-    chip_capacity = hardware.num_arrays * hardware.array_capacity_elements
-
-    expanded: List[Tuple[str, str, OperatorProfile]] = []  # (name, parent, profile)
-    for op in cim_ops:
+    profiled: List[ProfiledOperator] = []
+    for op in graph.cim_operators():
         extra = extra_traffic.get(op.name, 0)
         profile = profile_operator(op, extra)
-        if profile.min_compute_arrays(hardware) <= hardware.num_arrays:
-            expanded.append((op.name, op.name, profile))
+        profiled.append(
+            ProfiledOperator(
+                operator=op,
+                profile=profile,
+                extra_streamed=extra,
+                oversized=profile.min_compute_arrays(hardware) > hardware.num_arrays,
+            )
+        )
+    return profiled
+
+
+def expand_profiled(
+    profiled: Sequence[ProfiledOperator], hardware: DualModeHardwareAbstraction
+) -> List[Tuple[str, str, OperatorProfile]]:
+    """Shard oversized operators (the pipeline's PartitionOversized step).
+
+    Operators that fit pass through unchanged; an oversized operator is
+    split by :func:`repro.ir.transforms.partition_operator` with the chip
+    capacity as the budget — the paper's greedy partitioning "determined
+    by the available on-chip resources".
+
+    Returns:
+        ``(name, parent, profile)`` triples in flattened order (shard
+        names carry a ``::partK`` suffix; ``parent`` is the original
+        operator's name).
+    """
+    chip_capacity = hardware.num_arrays * hardware.array_capacity_elements
+    expanded: List[Tuple[str, str, OperatorProfile]] = []
+    for item in profiled:
+        op = item.operator
+        if not item.oversized:
+            expanded.append((op.name, op.name, item.profile))
             continue
         shards = partition_operator(
             op, chip_capacity, hardware.array_rows, hardware.array_cols
         )
-        extra_per_shard = extra // len(shards)
+        extra_per_shard = item.extra_streamed // len(shards)
         for shard in shards:
             shard_profile = profile_operator(shard.operator, extra_per_shard)
             expanded.append((shard.operator.name, op.name, shard_profile))
+    return expanded
 
-    # Liveness: a unit's output is live until its last consumer.  Consumers
-    # are derived from the parent graph's dependency relation; units whose
-    # parents feed graph outputs (or only auxiliary operators) stay live to
-    # the very end.
+
+def assign_liveness(
+    graph: Graph, expanded: Sequence[Tuple[str, str, OperatorProfile]]
+) -> List[FlattenedUnit]:
+    """Attach liveness to expanded units (completes the flattening).
+
+    A unit's output is live until its last consumer.  Consumers are
+    derived from the parent graph's dependency relation; units whose
+    parents feed graph outputs (or only auxiliary operators) stay live
+    to the very end.
+    """
     position_of_parent_first: Dict[str, int] = {}
     position_of_parent_last: Dict[str, int] = {}
     for idx, (_, parent, _) in enumerate(expanded):
         position_of_parent_first.setdefault(parent, idx)
         position_of_parent_last[parent] = idx
 
-    cim_names = {op.name for op in cim_ops}
+    cim_names = {op.name for op in graph.cim_operators()}
     consumers_of: Dict[str, List[int]] = {name: [] for name in cim_names}
     for producer, consumer in _mappable_dependencies(graph, cim_names):
         if consumer in position_of_parent_first:
@@ -183,6 +269,21 @@ def flatten_graph(
             FlattenedUnit(name=name, parent=parent, profile=profile, index=idx, live_until=live_until)
         )
     return units
+
+
+def flatten_graph(
+    graph: Graph, hardware: DualModeHardwareAbstraction
+) -> List[FlattenedUnit]:
+    """Flatten a graph into schedulable units that each fit on the chip.
+
+    The composition of the three flattening steps the pipeline runs as
+    named passes: :func:`profile_graph` (profile + auxiliary-traffic
+    fusion), :func:`expand_profiled` (shard oversized operators) and
+    :func:`assign_liveness`.
+    """
+    return assign_liveness(
+        graph, expand_profiled(profile_graph(graph, hardware), hardware)
+    )
 
 
 def _mappable_dependencies(graph: Graph, cim_names: set) -> List[Tuple[str, str]]:
@@ -249,6 +350,45 @@ class SegmentationResult:
     def total_cycles(self) -> float:
         """Total predicted latency of the segmented schedule."""
         return sum(segment.total_cycles for segment in self.segments)
+
+
+def plan_cost(result: SegmentationResult) -> float:
+    """Comparable cost of a segmentation plan (NaN collapsed to ``inf``)."""
+    return guard_infeasible(result.total_cycles)
+
+
+def plan_arrays(result: SegmentationResult) -> int:
+    """Total arrays (compute + memory + boundary) a plan occupies."""
+    return sum(
+        segment.compute_arrays + segment.memory_arrays for segment in result.segments
+    )
+
+
+def choose_plan(
+    dual: SegmentationResult, fixed: SegmentationResult
+) -> Tuple[SegmentationResult, bool]:
+    """Pick between the dual-mode plan and the fixed-mode fallback plan.
+
+    The comparison is robust to :data:`INFEASIBLE_LATENCY` and NaN costs:
+
+    * if both plans are infeasible the dual-mode plan is returned (the
+      caller raises :class:`NoFeasiblePlanError`) — never a silent
+      ``inf < inf`` keep;
+    * a strictly cheaper fixed-mode plan wins;
+    * on an exact finite tie the fixed-mode plan wins only when it
+      occupies fewer arrays (same latency for less hardware).
+
+    Returns:
+        ``(chosen_result, fallback_used)``.
+    """
+    dual_cost = plan_cost(dual)
+    fixed_cost = plan_cost(fixed)
+    if fixed_cost < dual_cost:
+        return fixed, True
+    if fixed_cost == dual_cost and math.isfinite(fixed_cost):
+        if plan_arrays(fixed) < plan_arrays(dual):
+            return fixed, True
+    return dual, False
 
 
 class NetworkSegmenter:
@@ -343,12 +483,49 @@ class NetworkSegmenter:
     # ------------------------------------------------------------------ #
     # dynamic program
     # ------------------------------------------------------------------ #
-    def segment(self, graph: Graph) -> SegmentationResult:
-        """Segment a graph and allocate every segment (Algorithm 1)."""
+    def segment(
+        self, graph: Graph, units: Optional[Sequence[FlattenedUnit]] = None
+    ) -> SegmentationResult:
+        """Segment a graph and allocate every segment (Algorithm 1).
+
+        Args:
+            graph: The computation graph.
+            units: Pre-flattened schedulable units; flattening is
+                deterministic and option-independent, so callers that
+                already flattened (the pipeline's earlier passes, the
+                fixed-mode fallback reusing the dual-mode pass's units)
+                may pass them to skip the repeated work.
+        """
         start_time = time.perf_counter()
-        units = flatten_graph(graph, self.hardware)
+        if units is None:
+            units = flatten_graph(graph, self.hardware)
+        units = list(units)
         if not units:
             return SegmentationResult([], [], 0.0, 0, 0)
+        boundaries = self.choose_boundaries(graph, units)
+        segments = self.build_plans(units, boundaries)
+        dp_seconds = time.perf_counter() - start_time
+        return SegmentationResult(
+            segments,
+            units,
+            dp_seconds,
+            self.allocation_calls,
+            self.cache_hits,
+            self.disk_hits,
+        )
+
+    def choose_boundaries(
+        self, graph: Graph, units: Sequence[FlattenedUnit]
+    ) -> List[Tuple[int, int]]:
+        """Run the Eq. 3 DP and return the chosen segment boundaries.
+
+        Returns ``(start, end)`` inclusive index pairs in execution
+        order.  When the DP proves no feasible plan exists, falls back
+        to one segment per unit (``single_segment_fallback``) or raises
+        :class:`NoFeasiblePlanError`.  The per-window allocation solves
+        the DP performs stay memoised on this segmenter, so a subsequent
+        :meth:`build_plans` call re-pays nothing.
+        """
         m = len(units)
         window = max(1, self.options.max_segment_operators)
 
@@ -400,7 +577,8 @@ class NetworkSegmenter:
                     f"on {self.hardware.name!r}",
                     stats=self._stats_payload(),
                 )
-            return self._per_operator_fallback(graph, units, start_time)
+            # One segment per unit — used only when the DP finds no plan.
+            return [(i, i) for i in range(m)]
 
         # Backtrack the boundaries.
         boundaries: List[Tuple[int, int]] = []
@@ -410,24 +588,20 @@ class NetworkSegmenter:
             boundaries.append((i, j - 1))
             j = i
         boundaries.reverse()
-
-        segments = self._build_plans(units, boundaries)
-        dp_seconds = time.perf_counter() - start_time
-        return SegmentationResult(
-            segments,
-            units,
-            dp_seconds,
-            self.allocation_calls,
-            self.cache_hits,
-            self.disk_hits,
-        )
+        return boundaries
 
     # ------------------------------------------------------------------ #
     # plan construction
     # ------------------------------------------------------------------ #
-    def _build_plans(
+    def build_plans(
         self, units: Sequence[FlattenedUnit], boundaries: Sequence[Tuple[int, int]]
     ) -> List[SegmentPlan]:
+        """Materialise :class:`SegmentPlan` objects for chosen boundaries.
+
+        Allocations are served from this segmenter's per-run memo (the
+        DP already solved every candidate window), so this step performs
+        no fresh solver work after :meth:`choose_boundaries`.
+        """
         plans: List[SegmentPlan] = []
         previous_resources: Optional[SegmentResources] = None
         capacity = self.hardware.array_capacity_elements
@@ -478,18 +652,3 @@ class NetworkSegmenter:
             previous_resources = resources
         return plans
 
-    def _per_operator_fallback(
-        self, graph: Graph, units: Sequence[FlattenedUnit], start_time: float
-    ) -> SegmentationResult:
-        """One segment per unit — used only when the DP finds no plan."""
-        boundaries = [(i, i) for i in range(len(units))]
-        segments = self._build_plans(units, boundaries)
-        dp_seconds = time.perf_counter() - start_time
-        return SegmentationResult(
-            segments,
-            list(units),
-            dp_seconds,
-            self.allocation_calls,
-            self.cache_hits,
-            self.disk_hits,
-        )

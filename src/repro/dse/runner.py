@@ -22,6 +22,10 @@ space.  The returned :class:`DSEResult` carries every record known at
 the end (resumed and new), the aggregate counters the CLI and CI assert
 on (evaluated / replicated / skipped / allocator solves), and the Pareto
 reporting entry points.
+
+:meth:`repro.api.Session.explore` is the public entry point: it builds
+a runner sharing the session's allocation cache and backend, so a sweep
+warm-starts from every other compile the session served.
 """
 
 from __future__ import annotations

@@ -57,12 +57,20 @@ def measure_compile_time(
             repeats,
         )
         mlc_time, _ = _time_compiler(lambda: CIMMLCCompiler(hardware), graph, repeats)
+        # The pass pipeline attributes the compile time: the dual-mode DP
+        # (`segment`) and the fixed-mode fallback pass are the two
+        # solver-bound stages Fig. 18's overhead discussion is about.
+        pass_seconds = (
+            cms_program.stats.get("pass_seconds", {}) if cms_program is not None else {}
+        )
         rows.append(
             {
                 "model": model,
                 "cmswitch_seconds": cms_time,
                 "cim-mlc_seconds": mlc_time,
                 "overhead_ratio": cms_time / mlc_time if mlc_time > 0 else float("inf"),
+                "segment_seconds": pass_seconds.get("segment", 0.0),
+                "fallback_seconds": pass_seconds.get("fixed_fallback", 0.0),
                 "cmswitch_cache_hit_rate": (
                     cms_program.stats.get("allocation_cache_hit_rate", 0.0)
                     if cms_program is not None
@@ -96,6 +104,8 @@ def render_report(rows: Sequence[Dict]) -> str:
         "cmswitch_seconds",
         "cim-mlc_seconds",
         "overhead_ratio",
+        "segment_seconds",
+        "fallback_seconds",
         "cmswitch_cache_hit_rate",
     ]
     return format_table(rows, columns)

@@ -407,7 +407,13 @@ def compile_batch(
     backend: str = "thread",
     cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[CompileJobResult]:
-    """Convenience wrapper: run one batch through a fresh service.
+    """Deprecated: run one batch through a throwaway session.
+
+    .. deprecated:: 0.4
+        Use :meth:`repro.api.Session.compile_batch` — a session carries
+        the cache, backend and hardware context for every entry point
+        and keeps reusing them across calls.  This shim delegates to a
+        fresh session and produces bit-identical results.
 
     Args:
         jobs: The compile requests.
@@ -419,7 +425,20 @@ def compile_batch(
         cache_dir: Persistent cache directory shared across threads,
             worker processes and future invocations.
     """
-    service = CompileService(
-        cache=cache, max_workers=max_workers, backend=backend, cache_dir=cache_dir
+    import warnings
+
+    warnings.warn(
+        "repro.compile_batch() is deprecated; use repro.api.Session"
+        "(...).compile_batch(jobs) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return service.compile_batch(jobs)
+    from .api import Session
+
+    session = Session(
+        cache=cache,
+        max_workers=max_workers,
+        backend=backend,
+        cache_dir=cache_dir,
+    )
+    return session.compile_batch(jobs)

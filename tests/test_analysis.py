@@ -145,14 +145,30 @@ class TestHeatmap:
         assert heatmap[-1, -1] == 0.0
 
     def test_compiled_array_sweep_propagates_genuine_bugs(self, tiny_mlp_graph):
-        # A broken compile (bad options -> TypeError inside the pipeline)
-        # must raise, never masquerade as an infeasible design point.
+        # A broken compile must raise, never masquerade as an infeasible
+        # design point.  Bad options are rejected at construction time
+        # now, so smuggle the bad value in by mutation — the sweep still
+        # surfaces it (the DSE runner re-validates when it clones the
+        # options per job) instead of reporting an infeasible chip.
         from repro.analysis import compiled_array_sweep
         from repro.core import CompilerOptions
 
-        bad = CompilerOptions(max_segment_operators="boom", generate_code=False)
-        with pytest.raises(RuntimeError, match="failed at num_arrays=4"):
+        bad = CompilerOptions(generate_code=False)
+        bad.max_segment_operators = "boom"
+        with pytest.raises(ValueError, match="max_segment_operators"):
             compiled_array_sweep(tiny_mlp_graph, small_test_chip(), (4,), options=bad)
+
+    def test_compiler_options_validated_at_construction(self):
+        # The historical failure mode for a bad DP window was a TypeError
+        # deep inside the dynamic program; it is a named error now.
+        from repro.core import CompilerOptions, SegmentationOptions
+
+        with pytest.raises(ValueError, match="max_segment_operators"):
+            CompilerOptions(max_segment_operators="boom")
+        with pytest.raises(ValueError, match="max_segment_operators"):
+            CompilerOptions(max_segment_operators=0)
+        with pytest.raises(ValueError, match="max_segment_operators"):
+            SegmentationOptions(max_segment_operators=-3)
 
     def test_single_array_chip_degenerates_gracefully(self, tiny_mlp_graph):
         # A 1-array chip collapses the compute axis to [1] and the memory

@@ -252,16 +252,27 @@ class TestChoosePlan:
         self, small_chip, tiny_cnn_graph, monkeypatch
     ):
         """Both passes infeasible -> NoFeasiblePlanError, never a silent keep."""
-        import repro.core.compiler as compiler_module
+        import repro.pipeline.passes as passes_module
 
         class InfeasibleSegmenter:
+            # Speaks the split Segment/Allocate protocol of the pipeline
+            # (choose_boundaries + build_plans) and the fused segment()
+            # the fallback pass calls.
             def __init__(self, *args, **kwargs):
-                pass
+                self.allocation_calls = 0
+                self.cache_hits = 0
+                self.disk_hits = 0
 
-            def segment(self, graph):
+            def choose_boundaries(self, graph, units):
+                return [(0, len(units) - 1)]
+
+            def build_plans(self, units, boundaries):
+                return _result(_plan(INFEASIBLE_LATENCY)).segments
+
+            def segment(self, graph, units=None):
                 return _result(_plan(INFEASIBLE_LATENCY))
 
-        monkeypatch.setattr(compiler_module, "NetworkSegmenter", InfeasibleSegmenter)
+        monkeypatch.setattr(passes_module, "NetworkSegmenter", InfeasibleSegmenter)
         compiler = CMSwitchCompiler(small_chip, CompilerOptions(generate_code=False))
         with pytest.raises(NoFeasiblePlanError):
             compiler.compile(tiny_cnn_graph)

@@ -65,6 +65,11 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cmswitch" in out and "cim-mlc" in out and "x" in out
 
-    def test_unknown_model_raises(self):
-        with pytest.raises(KeyError):
-            main(["compile", "not-a-model", "--hardware", "small-test-chip"])
+    def test_unknown_model_exits_2_with_available_names(self, capsys):
+        # Unified unknown-name handling: exit code 2 and the registered
+        # model list on stderr, never a raw KeyError traceback.
+        code = main(["compile", "not-a-model", "--hardware", "small-test-chip"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown model name(s): not-a-model" in err
+        assert "available models:" in err and "tiny-mlp" in err

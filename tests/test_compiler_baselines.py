@@ -18,7 +18,9 @@ class TestCMSwitchCompiler:
         )
 
     def test_compile_model_helper(self, small_chip, tiny_mlp_graph):
-        program = compile_model(tiny_mlp_graph, small_chip)
+        # Kept as a deprecation shim over repro.api.Session.
+        with pytest.warns(DeprecationWarning, match="Session"):
+            program = compile_model(tiny_mlp_graph, small_chip)
         assert program.graph_name == "tiny-mlp"
 
     def test_block_repeat_from_metadata(self, small_chip):
@@ -92,6 +94,55 @@ class TestBaselineCompilers:
             program = compiler.compile(tiny_transformer_graph)
             for segment in program.segments:
                 assert segment.compute_arrays <= small_chip.num_arrays
+
+    @pytest.mark.parametrize("compiler_cls", [PUMACompiler, OCCCompiler])
+    @pytest.mark.parametrize("generate_code", [False, True])
+    def test_pipeline_config_parity_with_prerefactor_loop(
+        self, compiler_cls, generate_code, small_chip, tiny_transformer_graph
+    ):
+        # Each baseline is now a pipeline configuration; its programs
+        # must be bit-identical to the frozen pre-refactor fused loop.
+        from repro.core._reference import reference_baseline_compile
+
+        new = compiler_cls(small_chip, generate_code=generate_code).compile(
+            tiny_transformer_graph
+        )
+        old = reference_baseline_compile(
+            compiler_cls(small_chip, generate_code=generate_code),
+            tiny_transformer_graph,
+        )
+        assert new.fingerprint() == old.fingerprint()
+        assert new.end_to_end_cycles == old.end_to_end_cycles
+        # The pipeline adds per-pass timings the fused loop never had.
+        assert set(new.stats["pass_seconds"]) >= {"flatten", "segment", "allocate"}
+
+    def test_cim_mlc_parity_with_prerefactor_wrapper(
+        self, small_chip, tiny_transformer_graph
+    ):
+        # CIM-MLC was (and remains) the CMSwitch path with memory mode
+        # off; the reference is the frozen fused compile re-labelled the
+        # way the old wrapper re-labelled it.
+        from repro.core._reference import reference_compile
+
+        compiler = CIMMLCCompiler(small_chip)
+        new = compiler.compile(tiny_transformer_graph)
+        old = reference_compile(tiny_transformer_graph, small_chip, compiler.options)
+        old.compiler_name = compiler.name
+        assert new.fingerprint() == old.fingerprint()
+
+    def test_baseline_uses_shared_flatten_passes(self, small_chip):
+        pipeline = PUMACompiler(small_chip).build_pipeline()
+        assert pipeline.names == [
+            "flatten",
+            "partition",
+            "segment",
+            "allocate",
+            "codegen",
+        ]
+        from repro.pipeline import Flatten, PartitionOversized
+
+        assert isinstance(pipeline.get("flatten"), Flatten)
+        assert isinstance(pipeline.get("partition"), PartitionOversized)
 
     def test_get_compiler_registry(self, small_chip):
         assert isinstance(get_compiler("cmswitch", small_chip), CMSwitchCompiler)

@@ -450,7 +450,7 @@ class TestRunnerResume:
         # If the fixed-mode fallback pass proves itself infeasible, the
         # dual-mode plan must survive and the fallback's solver work must
         # still be counted.
-        import repro.core.compiler as compiler_module
+        import repro.pipeline.passes as passes_module
         from repro.core.compiler import CMSwitchCompiler, CompilerOptions
         from repro.core.segmentation import NetworkSegmenter, NoFeasiblePlanError
         from repro.models import build_model
@@ -458,7 +458,7 @@ class TestRunnerResume:
         real_segmenter = NetworkSegmenter
 
         class FixedPassFails(real_segmenter):
-            def segment(self, graph):
+            def segment(self, graph, units=None):
                 if not self.options.allow_memory_mode:
                     raise NoFeasiblePlanError(
                         "fixed impossible",
@@ -468,9 +468,9 @@ class TestRunnerResume:
                             "allocation_disk_hits": 1,
                         },
                     )
-                return super().segment(graph)
+                return super().segment(graph, units=units)
 
-        monkeypatch.setattr(compiler_module, "NetworkSegmenter", FixedPassFails)
+        monkeypatch.setattr(passes_module, "NetworkSegmenter", FixedPassFails)
         graph = build_model("tiny-mlp", Workload(batch_size=1))
         program = CMSwitchCompiler(
             small_chip, CompilerOptions(generate_code=False)
@@ -484,24 +484,35 @@ class TestRunnerResume:
         # Force both passes infeasible while preserving the solve counters:
         # the work done before NoFeasiblePlanError must not vanish from
         # batch/DSE accounting.
-        import repro.core.compiler as compiler_module
+        import repro.pipeline.passes as passes_module
         from repro.core.segmentation import SegmentationResult
+
+        def _infeasible_result():
+            from repro.cost.latency import INFEASIBLE_LATENCY
+            from repro.core.program import SegmentPlan
+
+            plan = SegmentPlan(
+                index=0, operator_names=["op"], allocations={}, profiles={},
+                intra_cycles=INFEASIBLE_LATENCY, inter_cycles=0.0,
+            )
+            return SegmentationResult([plan], [], 0.0, 5, 3, 2)
 
         class InfeasibleSegmenter:
             def __init__(self, *args, **kwargs):
-                pass
+                self.allocation_calls = 5
+                self.cache_hits = 3
+                self.disk_hits = 2
 
-            def segment(self, graph):
-                from repro.cost.latency import INFEASIBLE_LATENCY
-                from repro.core.program import SegmentPlan
+            def choose_boundaries(self, graph, units):
+                return [(0, 0)]
 
-                plan = SegmentPlan(
-                    index=0, operator_names=["op"], allocations={}, profiles={},
-                    intra_cycles=INFEASIBLE_LATENCY, inter_cycles=0.0,
-                )
-                return SegmentationResult([plan], [], 0.0, 5, 3, 2)
+            def build_plans(self, units, boundaries):
+                return _infeasible_result().segments
 
-        monkeypatch.setattr(compiler_module, "NetworkSegmenter", InfeasibleSegmenter)
+            def segment(self, graph, units=None):
+                return _infeasible_result()
+
+        monkeypatch.setattr(passes_module, "NetworkSegmenter", InfeasibleSegmenter)
         result = run_dse(tiny_space(arrays=(8,)))
         record = result.records[0]
         assert not record.feasible and not record.failed

@@ -1,0 +1,215 @@
+"""Tests for the pass-based compile pipeline (repro.pipeline)."""
+
+import pytest
+
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.pipeline import (
+    Codegen,
+    FixedModeFallback,
+    Pass,
+    Pipeline,
+    PipelineContext,
+    build_pipeline,
+    default_passes,
+    finalize,
+)
+
+STANDARD_NAMES = [
+    "flatten",
+    "partition",
+    "segment",
+    "allocate",
+    "fixed_fallback",
+    "refine",
+    "codegen",
+]
+
+
+def _ctx(graph, hardware, **option_kwargs):
+    options = CompilerOptions(**option_kwargs)
+    return PipelineContext(graph=graph, hardware=hardware, options=options)
+
+
+class TestPipelineStructure:
+    def test_default_pass_order(self):
+        assert build_pipeline().names == STANDARD_NAMES
+
+    def test_get_returns_pass_by_name(self):
+        pipeline = build_pipeline()
+        assert isinstance(pipeline.get("codegen"), Codegen)
+        with pytest.raises(KeyError, match="no pass named"):
+            pipeline.get("nope")
+
+    def test_duplicate_names_rejected(self):
+        pipeline = build_pipeline()
+        with pytest.raises(ValueError, match="already registered"):
+            pipeline.append(Codegen())
+
+    def test_replace_swaps_in_place(self):
+        class FakeSegment(Pass):
+            name = "segment"
+
+            def run(self, ctx):  # pragma: no cover - structure-only test
+                pass
+
+        pipeline = build_pipeline().replace("segment", FakeSegment())
+        assert pipeline.names == STANDARD_NAMES
+        assert isinstance(pipeline.get("segment"), FakeSegment)
+
+    def test_insert_before_after_remove(self):
+        class Probe(Pass):
+            name = "probe"
+
+            def run(self, ctx):
+                ctx.extras["probe_ran"] = True
+
+        pipeline = build_pipeline().insert_after("allocate", Probe())
+        assert pipeline.names.index("probe") == pipeline.names.index("allocate") + 1
+        pipeline.remove("probe")
+        assert "probe" not in pipeline.names
+        pipeline.insert_before("flatten", Probe())
+        assert pipeline.names[0] == "probe"
+
+    def test_default_passes_returns_fresh_instances(self):
+        a, b = default_passes(), default_passes()
+        assert [p.name for p in a] == [p.name for p in b]
+        assert all(x is not y for x, y in zip(a, b))
+
+
+class TestPipelineExecution:
+    def test_pass_seconds_cover_every_executed_pass(self, small_chip, tiny_mlp_graph):
+        program = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False)
+        ).compile(tiny_mlp_graph)
+        timings = program.stats["pass_seconds"]
+        # codegen is disabled; everything else ran and was timed.
+        assert set(timings) == set(STANDARD_NAMES) - {"codegen"}
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        assert program.metadata["passes"] == [n for n in STANDARD_NAMES if n != "codegen"]
+
+    def test_disabled_passes_emit_skip_events(self, small_chip, tiny_mlp_graph):
+        ctx = _ctx(
+            tiny_mlp_graph, small_chip, allow_memory_mode=False, generate_code=False
+        )
+        build_pipeline().run(ctx)
+        skipped = {e.pass_name for e in ctx.trace if e.kind == "skip"}
+        assert skipped == {"fixed_fallback", "codegen"}
+        assert "fixed_fallback" not in ctx.pass_seconds
+
+    def test_hooks_see_start_end_and_context(self, small_chip, tiny_mlp_graph):
+        events = []
+        pipeline = build_pipeline(hooks=[lambda e, ctx: events.append((e.pass_name, e.kind))])
+        ctx = _ctx(tiny_mlp_graph, small_chip, generate_code=False)
+        pipeline.run(ctx)
+        assert ("flatten", "start") in events and ("flatten", "end") in events
+        assert events.index(("flatten", "end")) < events.index(("segment", "start"))
+
+    def test_custom_pass_can_observe_and_annotate(self, small_chip, tiny_mlp_graph):
+        class CountUnits(Pass):
+            name = "count_units"
+
+            def run(self, ctx):
+                ctx.extras["unit_count"] = len(ctx.units)
+
+        pipeline = build_pipeline().insert_after("partition", CountUnits())
+        ctx = _ctx(tiny_mlp_graph, small_chip, generate_code=False)
+        pipeline.run(ctx)
+        program = finalize(ctx)
+        assert program.stats["unit_count"] == len(ctx.units) > 0
+        assert "count_units" in ctx.pass_seconds
+
+    def test_refine_pass_reports_duplication(self, small_chip, tiny_mlp_graph):
+        ctx = _ctx(tiny_mlp_graph, small_chip, generate_code=False)
+        build_pipeline().run(ctx)
+        program = finalize(ctx)
+        assert program.stats["refine_extra_compute_arrays"] >= 0
+        # With refinement off the pass skips itself and the stat is absent.
+        ctx = _ctx(tiny_mlp_graph, small_chip, refine=False, generate_code=False)
+        build_pipeline().run(ctx)
+        assert "refine_extra_compute_arrays" not in finalize(ctx).stats
+
+    def test_fallback_pass_accumulates_counters(self, small_chip, tiny_mlp_graph):
+        ctx = _ctx(tiny_mlp_graph, small_chip, generate_code=False)
+        build_pipeline().run(ctx)
+        # The fixed-mode pass adds its own solver work (fresh solves or
+        # cache hits) on top of the dual-mode pass's.
+        dual_attempts = ctx.result.allocation_calls + ctx.result.cache_hits
+        assert ctx.solve_attempts > dual_attempts
+        program = finalize(ctx)
+        assert program.stats["allocator_solves"] == ctx.allocation_calls
+
+    def test_finalize_without_run_is_an_error(self, small_chip, tiny_mlp_graph):
+        ctx = _ctx(tiny_mlp_graph, small_chip)
+        with pytest.raises(RuntimeError, match="completed pipeline run"):
+            finalize(ctx)
+
+    def test_pipeline_without_fallback_matches_option(self, small_chip, tiny_mlp_graph):
+        # Removing the pass and disabling the option are equivalent
+        # pipeline configurations.
+        ctx_removed = _ctx(tiny_mlp_graph, small_chip, generate_code=False)
+        build_pipeline().remove("fixed_fallback").run(ctx_removed)
+        ctx_option = _ctx(
+            tiny_mlp_graph,
+            small_chip,
+            fixed_mode_fallback=False,
+            generate_code=False,
+        )
+        build_pipeline().run(ctx_option)
+        assert (
+            finalize(ctx_removed).fingerprint() == finalize(ctx_option).fingerprint()
+        )
+
+    def test_compiler_accepts_custom_pipeline(self, small_chip, tiny_mlp_graph):
+        events = []
+        pipeline = build_pipeline(hooks=[lambda e, ctx: events.append(e.kind)])
+        compiler = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False), pipeline=pipeline
+        )
+        program = compiler.compile(tiny_mlp_graph)
+        assert program.num_segments >= 1
+        assert "end" in events
+
+
+class TestFixedModeFallbackGating:
+    def test_enabled_only_for_dual_mode_with_fallback(self, small_chip, tiny_mlp_graph):
+        fallback = FixedModeFallback()
+        dual = _ctx(tiny_mlp_graph, small_chip)
+        assert fallback.enabled(dual)
+        fixed = _ctx(tiny_mlp_graph, small_chip, allow_memory_mode=False)
+        assert not fallback.enabled(fixed)
+        no_fb = _ctx(tiny_mlp_graph, small_chip, fixed_mode_fallback=False)
+        assert not fallback.enabled(no_fb)
+
+
+class TestOptionsNormalisation:
+    def test_fixed_mode_canonicalises_signature(self):
+        # The meaningless fallback flag must not split option identities
+        # (DSE point keys, dedup groups) for fixed-mode configurations …
+        from repro.dse.space import options_signature
+
+        with_flag = CompilerOptions(allow_memory_mode=False, fixed_mode_fallback=True)
+        without = CompilerOptions(allow_memory_mode=False, fixed_mode_fallback=False)
+        assert options_signature(with_flag) == options_signature(without)
+
+    def test_reenabling_memory_mode_restores_fallback(self):
+        # … but the field itself is untouched, so replacing along a DSE
+        # axis from a fixed-mode base re-enables the fallback pass.
+        from dataclasses import replace
+
+        base = CompilerOptions(allow_memory_mode=False)
+        dual = replace(base, allow_memory_mode=True)
+        assert dual.fixed_mode_fallback is True
+        assert FixedModeFallback().enabled(
+            PipelineContext(graph=None, hardware=None, options=dual)
+        )
+
+    def test_dual_mode_keeps_fallback(self):
+        assert CompilerOptions().fixed_mode_fallback is True
+
+    def test_segmentation_options_reject_bad_window(self):
+        from repro.core import SegmentationOptions
+
+        with pytest.raises(ValueError, match="max_segment_operators"):
+            SegmentationOptions(max_segment_operators=0)
+        with pytest.raises(ValueError, match="max_segment_operators"):
+            CompilerOptions(max_segment_operators=True)

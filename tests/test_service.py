@@ -107,7 +107,9 @@ class TestCompileService:
 
     def test_external_cache_is_shared(self, small_chip):
         cache = AllocationCache()
-        compile_batch([CompileJob("tiny-mlp", hardware=small_chip)], cache=cache)
+        # compile_batch is kept as a deprecation shim over Session.
+        with pytest.warns(DeprecationWarning, match="Session"):
+            compile_batch([CompileJob("tiny-mlp", hardware=small_chip)], cache=cache)
         assert cache.stats.stores > 0
 
     def test_empty_batch(self):
@@ -134,11 +136,25 @@ class TestCompileBatchCLI:
         assert "tiny-cnn#2" in out
         assert "cache:" in out
 
-    def test_cli_reports_failures_with_nonzero_exit(self, capsys):
+    def test_cli_rejects_unknown_models_before_compiling(self, capsys):
+        # Unified unknown-name handling across compile/compile-batch/
+        # compare/dse: exit code 2 plus the registered model list.
         code = main(["compile-batch", "definitely-not-a-model",
                      "--hardware", "small-test-chip"])
-        assert code == 1
-        assert "FAILED" in capsys.readouterr().out
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown model name(s): definitely-not-a-model" in err
+        assert "available models:" in err
+
+    def test_cli_prints_per_pass_wall_time(self, capsys):
+        # Acceptance gate of the pipeline refactor: per-pass timings show
+        # up in the compile-batch table, aggregated over the jobs.
+        code = main(["compile-batch", "tiny-mlp", "--hardware", "small-test-chip"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass wall time:" in out
+        for pass_name in ("flatten", "partition", "segment", "allocate"):
+            assert pass_name in out
 
     def test_cli_no_cache_flag(self, capsys):
         code = main(["compile-batch", "tiny-mlp", "--hardware", "small-test-chip",
