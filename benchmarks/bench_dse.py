@@ -15,13 +15,23 @@ against one cache directory — a cold pass and a fresh-runner warm pass —
 asserts the warm pass performs **zero** allocator solves with every
 canonical job planned warm, and writes the measured numbers to
 ``BENCH_dse.json`` for the performance-trajectory archive.
+
+A second smoke covers the multi-fidelity evaluator tiering::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py --quick --fidelity auto
+
+which explores the same 12-point space with the successive-halving
+schedule (analytical rung 0, survivors promoted to compile fidelity),
+asserts rung 0 performs **zero** allocator solves and that the schedule
+compiles at least 5x fewer candidates than the all-compile grid
+baseline, and writes ``BENCH_dse_fidelity.json``.
 """
 
 import pytest
 
 from conftest import record
 
-from repro.dse import DesignSpace, DSERunner
+from repro.dse import DesignSpace, DSERunner, SuccessiveHalvingStrategy
 from repro.hardware import small_test_chip
 from repro.models import Workload
 
@@ -104,6 +114,101 @@ def _quick_smoke(cache_dir=None, json_out="BENCH_dse.json") -> int:
     return 0
 
 
+@pytest.mark.benchmark(group="dse")
+def test_dse_multifidelity_prunes_compiles(benchmark):
+    """Auto fidelity compiles a fraction of the space, rung 0 solves nothing."""
+
+    def run():
+        auto = DSERunner(
+            _quick_space(),
+            strategy=SuccessiveHalvingStrategy(seed=0, keep_fraction=1 / 6),
+            fidelity="auto",
+        ).run()
+        baseline = DSERunner(_quick_space(), strategy="grid", fidelity="compile").run()
+        return auto, baseline
+
+    auto, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, _fidelity_rows(auto, baseline), "")
+    rung0 = [r for r in auto.new_records if r.fidelity == "analytical"]
+    assert len(rung0) == 12
+    assert sum(r.allocator_solves for r in rung0) == 0
+    compiles_auto = auto.evaluated_by_fidelity.get("compile", 0)
+    compiles_baseline = baseline.evaluated_by_fidelity.get("compile", 0)
+    assert compiles_auto * 5 <= compiles_baseline
+
+
+def _fidelity_rows(auto, baseline):
+    return [
+        {
+            "schedule": "auto",
+            "compiles": auto.evaluated_by_fidelity.get("compile", 0),
+            "analytical": auto.evaluated_by_fidelity.get("analytical", 0),
+            "solves": auto.allocator_solves,
+            "wall": auto.wall_seconds,
+        },
+        {
+            "schedule": "all-compile",
+            "compiles": baseline.evaluated_by_fidelity.get("compile", 0),
+            "analytical": 0,
+            "solves": baseline.allocator_solves,
+            "wall": baseline.wall_seconds,
+        },
+    ]
+
+
+def _fidelity_smoke(cache_dir=None, json_out="BENCH_dse_fidelity.json") -> int:
+    """CI smoke: the auto schedule prunes >=5x of the compile work."""
+    from conftest import write_bench_record
+
+    space = _quick_space()
+    auto = DSERunner(
+        space,
+        strategy=SuccessiveHalvingStrategy(seed=0, keep_fraction=1 / 6),
+        fidelity="auto",
+        cache_dir=cache_dir,
+    ).run()
+    baseline = DSERunner(
+        _quick_space(), strategy="grid", fidelity="compile", cache_dir=cache_dir
+    ).run()
+
+    rung0 = [r for r in auto.new_records if r.fidelity == "analytical"]
+    rung0_solves = sum(r.allocator_solves for r in rung0)
+    compiles_auto = auto.evaluated_by_fidelity.get("compile", 0)
+    compiles_baseline = baseline.evaluated_by_fidelity.get("compile", 0)
+    speedup = (
+        baseline.wall_seconds / auto.wall_seconds if auto.wall_seconds else float("inf")
+    )
+    print(
+        "dse multi-fidelity smoke (successive halving over the evaluator tiers):\n"
+        f"  auto        : {auto.wall_seconds:.3f} s — {len(rung0)} analytical "
+        f"({rung0_solves} solves), {compiles_auto} compiled, "
+        f"{auto.allocator_solves} solves total\n"
+        f"  all-compile : {baseline.wall_seconds:.3f} s — "
+        f"{compiles_baseline} compiled, {baseline.allocator_solves} solves\n"
+        f"  compile reduction: {compiles_baseline}/{compiles_auto} "
+        f"(wall {speedup:.1f}x)"
+    )
+    write_bench_record(
+        "dse_multifidelity_quick",
+        json_out,
+        analytical_evaluations=len(rung0),
+        rung0_allocator_solves=rung0_solves,
+        compiles_auto=compiles_auto,
+        compiles_baseline=compiles_baseline,
+        allocator_solves_auto=auto.allocator_solves,
+        allocator_solves_baseline=baseline.allocator_solves,
+        wall_seconds_auto=auto.wall_seconds,
+        wall_seconds_baseline=baseline.wall_seconds,
+    )
+    if rung0_solves != 0 or len(rung0) != space.size:
+        print("FAIL: rung 0 did not score the whole space analytically for free")
+        return 1
+    if compiles_auto == 0 or compiles_auto * 5 > compiles_baseline:
+        print("FAIL: the auto schedule did not prune >=5x of the compile work")
+        return 1
+    return 0
+
+
 if __name__ == "__main__":
     import argparse
     import sys
@@ -111,14 +216,28 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run the CI smoke")
     parser.add_argument(
+        "--fidelity",
+        choices=["compile", "auto"],
+        default="compile",
+        help="compile: warm-planning smoke; auto: multi-fidelity smoke",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, help="persistent allocation-cache directory"
     )
     parser.add_argument(
         "--json-out",
-        default="BENCH_dse.json",
-        help="machine-readable result record ('' disables)",
+        default=None,
+        help="machine-readable result record ('' disables; default depends on mode)",
     )
     cli_args, _ = parser.parse_known_args()
     if not cli_args.quick:
         parser.error("bench_dse.py currently only supports --quick (or run via pytest)")
-    sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir, json_out=cli_args.json_out))
+    if cli_args.fidelity == "auto":
+        json_out = (
+            cli_args.json_out
+            if cli_args.json_out is not None
+            else "BENCH_dse_fidelity.json"
+        )
+        sys.exit(_fidelity_smoke(cache_dir=cli_args.cache_dir, json_out=json_out))
+    json_out = cli_args.json_out if cli_args.json_out is not None else "BENCH_dse.json"
+    sys.exit(_quick_smoke(cache_dir=cli_args.cache_dir, json_out=json_out))

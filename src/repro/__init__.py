@@ -29,7 +29,10 @@ Sub-packages:
 * :mod:`repro.baselines` -- PUMA / OCC / CIM-MLC as pipeline configurations
 * :mod:`repro.sim` -- functional and timing simulators
 * :mod:`repro.analysis`, :mod:`repro.experiments` -- paper figure/table harness
-* :mod:`repro.dse` -- cache-aware design-space exploration engine
+* :mod:`repro.eval` -- tiered candidate evaluation (analytical lower
+  bounds / cached warm compiles / the full pipeline)
+* :mod:`repro.dse` -- cache-aware, multi-fidelity design-space
+  exploration engine
 """
 
 from .api import Session

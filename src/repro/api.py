@@ -208,6 +208,7 @@ class Session:
         space,
         strategy="grid",
         objective: str = "latency",
+        fidelity: str = "compile",
         budget: Optional[int] = None,
         state=None,
         batch_size: int = 8,
@@ -223,9 +224,15 @@ class Session:
 
         Args:
             space: The :class:`~repro.dse.DesignSpace` to explore.
-            strategy: Strategy instance or name
-                (``grid``/``random``/``greedy``).
+            strategy: Strategy instance or name (``grid`` / ``random``
+                / ``greedy`` / ``successive-halving``).
             objective: ``"latency"`` or ``"energy"``.
+            fidelity: Evaluation tier — ``"compile"`` (default, the
+                full pipeline), ``"analytical"`` (closed-form lower
+                bounds, zero allocator solves), ``"cached"`` (evaluate
+                only what the persistent store already knows) or
+                ``"auto"`` (multi-fidelity: analytical rung 0, survivors
+                promoted to compile fidelity).  See :mod:`repro.eval`.
             budget: Max design points to cover (whole space if None).
             state: Optional resumable :class:`~repro.dse.RunState`.
             batch_size: Points asked from the strategy per iteration.
@@ -241,6 +248,7 @@ class Session:
             space,
             strategy=strategy,
             objective=objective,
+            fidelity=fidelity,
             cache=self.cache,
             backend=self.backend,
             max_workers=(

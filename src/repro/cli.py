@@ -409,8 +409,14 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
     print(
         f"dse: {space.describe()}, strategy {args.strategy}, "
-        f"objective {args.objective}, run dir {run_dir}"
+        f"objective {args.objective}, fidelity {args.fidelity}, run dir {run_dir}"
     )
+    if args.fidelity == "auto" and args.strategy != "successive-halving":
+        print(
+            "note: --fidelity auto schedules rungs itself; using the "
+            "successive-halving strategy (analytical rung 0, survivors "
+            "promoted to compile fidelity)"
+        )
     if state.space_changed:
         print(
             "note: resuming with a different design space; overlapping "
@@ -430,22 +436,29 @@ def cmd_dse(args: argparse.Namespace) -> int:
             space,
             strategy=make_strategy(args.strategy, seed=args.seed),
             objective=args.objective,
+            fidelity=args.fidelity,
             budget=args.budget,
             state=state,
             seed=args.seed,
         )
 
     # Infeasible design points (feasible=False, failed=False) are a
-    # legitimate exploration outcome, not a failure exit.
+    # legitimate exploration outcome, not a failure exit; so are
+    # cached-fidelity points the store could not answer (status "cold").
     failures = [r for r in result.new_records if r.failed]
     for record in result.new_records:
-        marker = "ok" if record.feasible else ("ERR" if record.failed else "infeasible")
+        if record.status == "cold":
+            marker = "cold"
+        elif record.feasible:
+            marker = "ok"
+        else:
+            marker = "ERR" if record.failed else "infeasible"
         print(
             f"  {record.model:16s} arrays={record.num_arrays:<5d} "
             f"{'dual' if record.allow_memory_mode else 'fixed':5s} "
             f"latency={record.latency_ms:10.3f} ms energy={record.energy_mj:8.3f} mJ "
             f"solves={record.allocator_solves:4d} disk={record.disk_hits:4d} "
-            f"[{record.status}/{marker}]"
+            f"[{record.fidelity}/{record.status}/{marker}]"
         )
 
     report = result.render_report()
@@ -467,8 +480,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     root = Path(args.cache_dir).expanduser()
     if not root.is_dir():
-        # Constructing the store would mkdir the path — a read-only query
-        # on a mistyped (or non-directory) path must not create or crash.
+        # Constructing the store would mkdir the path — a query on a
+        # mistyped (or non-directory) path must not create or crash.
+        # For the read-only `stats` a directory that was never created
+        # simply holds nothing: report empty usage and exit 0, the same
+        # answer a just-cleared cache gives (scripts can poll a cache
+        # dir before its first run without special-casing the error).
+        if args.cache_command == "stats" and not root.exists():
+            print(f"cache: 0 entries, 0.00 MB ({root})")
+            return 0
         print(f"error: cache directory {root} does not exist", file=sys.stderr)
         return 2
     store = DiskCacheStore(root)
@@ -634,9 +654,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument(
         "--strategy",
-        choices=["grid", "random", "greedy"],
+        choices=["grid", "random", "greedy", "successive-halving"],
         default="grid",
         help="search strategy (see docs/dse.md)",
+    )
+    dse.add_argument(
+        "--fidelity",
+        choices=["analytical", "cached", "compile", "auto"],
+        default="compile",
+        help=(
+            "evaluation tier: compile (full pipeline), analytical "
+            "(closed-form lower bounds, zero solves), cached (only what "
+            "the store already knows), auto (analytical rung 0, "
+            "survivors promoted to compile fidelity; see docs/dse.md)"
+        ),
     )
     dse.add_argument("--seed", type=int, default=0, help="RNG seed for random/greedy")
     dse.add_argument(

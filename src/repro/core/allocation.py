@@ -39,6 +39,7 @@ from ..cost.latency import (
 )
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.transforms import ceil_div
+from .feasibility import FeasibilityModel
 
 
 @dataclass
@@ -93,8 +94,14 @@ def infeasible_result() -> AllocationResult:
 def minimum_compute_arrays(
     profiles: Mapping[str, OperatorProfile], hardware: DualModeHardwareAbstraction
 ) -> int:
-    """Fewest compute arrays the segment needs just to hold its operands."""
-    return sum(max(1, p.min_compute_arrays(hardware)) for p in profiles.values())
+    """Fewest compute arrays the segment needs just to hold its operands.
+
+    Delegates to the shared :class:`~repro.core.feasibility
+    .FeasibilityModel`, which the analytical evaluation tier consults
+    through the same predicates — the two tiers can never disagree about
+    what fits.
+    """
+    return FeasibilityModel(hardware).minimum_compute_arrays(profiles)
 
 
 def segment_fits(
@@ -104,7 +111,7 @@ def segment_fits(
 ) -> bool:
     """Whether the segment's minimum footprint fits the array budget."""
     del allow_memory_mode  # the minimum footprint uses no memory arrays
-    return minimum_compute_arrays(profiles, hardware) <= hardware.num_arrays
+    return FeasibilityModel(hardware).segment_fits(profiles)
 
 
 # ---------------------------------------------------------------------- #

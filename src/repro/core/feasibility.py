@@ -1,0 +1,100 @@
+"""Shared chip-fit predicates: one source of truth for "does it fit".
+
+Feasibility used to be decided in three places with three idioms: the
+module-level ``segment_fits`` / ``minimum_compute_arrays`` helpers in
+:mod:`repro.core.allocation`, an inlined footprint comparison inside the
+segmentation DP, and (implicitly) the candidate enumeration of the MILP
+allocator.  The rung-0 analytical evaluation tier needs the *same*
+answer without running any of those code paths — an analytical estimate
+that disagreed with the allocator about feasibility would prune
+compilable design points (or promote doomed ones) during multi-fidelity
+search.
+
+:class:`FeasibilityModel` centralises the predicates.  The allocators
+and the segmenter consult it for segment-level fit; the analytical tier
+consults it for unit-level fit, which is exactly the *necessary*
+condition for compilability:
+
+* a flattened unit whose minimum compute footprint exceeds the chip can
+  belong to no feasible segment (footprints are additive, so every
+  window containing it is infeasible, and the single-segment fallback
+  fails on it too) — the compiler is guaranteed to raise;
+* conversely, if every unit fits on its own, the one-segment-per-unit
+  plan exists, so the compiler is guaranteed to succeed.
+
+That equivalence is what makes the analytical tier's feasibility verdict
+trustworthy: it never reports a compilable point infeasible and never
+reports an uncompilable point feasible (asserted by the calibration
+suite in ``tests/test_eval.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..cost.arithmetic import OperatorProfile
+from ..hardware.deha import DualModeHardwareAbstraction
+
+__all__ = ["FeasibilityModel"]
+
+
+class FeasibilityModel:
+    """Chip-fit predicates for one hardware target.
+
+    All predicates are phrased over the *minimum compute footprint* — the
+    fewest compute-mode arrays that hold an operator's stationary
+    operand (at least one array per scheduled operator).  Memory-mode
+    arrays never relax feasibility: the minimum footprint uses none, so
+    the predicates are identical for dual- and fixed-mode compilation.
+
+    Args:
+        hardware: The target dual-mode hardware abstraction.
+    """
+
+    def __init__(self, hardware: DualModeHardwareAbstraction) -> None:
+        self.hardware = hardware
+
+    # ------------------------------------------------------------------ #
+    # per-operator floors
+    # ------------------------------------------------------------------ #
+    def operator_floor(self, profile: OperatorProfile) -> int:
+        """Fewest arrays one scheduled operator occupies (>= 1)."""
+        return max(1, profile.min_compute_arrays(self.hardware))
+
+    def unit_fits(self, profile: OperatorProfile) -> bool:
+        """Whether one flattened unit can be scheduled on the chip at all."""
+        return self.operator_floor(profile) <= self.hardware.num_arrays
+
+    # ------------------------------------------------------------------ #
+    # segment-level predicates (what the allocators ask)
+    # ------------------------------------------------------------------ #
+    def minimum_compute_arrays(
+        self, profiles: Mapping[str, OperatorProfile]
+    ) -> int:
+        """Fewest compute arrays a segment needs to hold its operands."""
+        return sum(self.operator_floor(profile) for profile in profiles.values())
+
+    def segment_fits(self, profiles: Mapping[str, OperatorProfile]) -> bool:
+        """Whether a segment's minimum footprint fits the array budget."""
+        return self.minimum_compute_arrays(profiles) <= self.hardware.num_arrays
+
+    # ------------------------------------------------------------------ #
+    # graph-level predicate (what the analytical tier asks)
+    # ------------------------------------------------------------------ #
+    def first_unfit(
+        self, profiles: Mapping[str, OperatorProfile]
+    ) -> Optional[str]:
+        """Name of the first operator that cannot fit the chip alone.
+
+        ``None`` means every unit fits individually — the necessary and
+        (thanks to the one-segment-per-unit fallback plan) sufficient
+        condition for a feasible compilation of the flattened sequence.
+        """
+        for name, profile in profiles.items():
+            if not self.unit_fits(profile):
+                return name
+        return None
+
+    def units_fit(self, profiles: Iterable[OperatorProfile]) -> bool:
+        """Whether every flattened unit fits the chip individually."""
+        return all(self.unit_fits(profile) for profile in profiles)

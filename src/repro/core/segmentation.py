@@ -37,8 +37,8 @@ from .allocation import (
     GreedyAllocator,
     MIPAllocator,
     allocate_segment,
-    minimum_compute_arrays,
 )
+from .feasibility import FeasibilityModel
 from .program import SegmentPlan
 
 
@@ -325,6 +325,58 @@ def live_elements_at_boundary(units: Sequence[FlattenedUnit], boundary: int) -> 
     return total
 
 
+def first_window_cache_key(
+    units: Sequence[FlattenedUnit],
+    hardware: DualModeHardwareAbstraction,
+    options,
+):
+    """Cache key of the first allocation window the DP will request.
+
+    Mirrors :meth:`NetworkSegmenter._allocate` for the window
+    ``units[0:1]`` of the pass ``options`` selects: same engine name,
+    pipelining, refinement, memory-mode flag and boundary reserve.  If
+    this key is present in a persistent store, the run that produced it
+    solved this exact sub-problem before — the strongest cheap signal
+    that the whole candidate is warm.  Shared by the DSE planner's
+    warm-first scheduling and the cached evaluation tier's
+    ``contains`` probe.
+
+    Args:
+        units: Flattened schedulable units of the graph.
+        hardware: Target hardware abstraction.
+        options: Any object with ``use_milp`` / ``pipelined`` /
+            ``refine`` / ``allow_memory_mode`` attributes
+            (:class:`~repro.core.compiler.CompilerOptions` or
+            :class:`SegmentationOptions`).
+
+    Returns:
+        The :class:`~repro.core.cache.AllocationCacheKey`, or ``None``
+        for an empty unit list (nothing to allocate, nothing to probe).
+    """
+    from .cache import AllocationCacheKey
+
+    if not units:
+        return None
+    first = units[0]
+    profiles = {first.name: first.profile}
+    reserve = 0
+    if options.allow_memory_mode and len(units) > 1:
+        live = live_elements_at_boundary(units, 0)
+        if live > 0:
+            capacity = hardware.array_capacity_elements
+            need = -(-live // capacity)
+            reserve = min(need, hardware.num_arrays // 2)
+    return AllocationCacheKey.build(
+        profiles,
+        hardware,
+        engine="milp" if options.use_milp else "greedy",
+        pipelined=options.pipelined,
+        refine=options.refine,
+        allow_memory_mode=options.allow_memory_mode,
+        reserve_arrays=reserve,
+    )
+
+
 @dataclass
 class SegmentationResult:
     """Output of the DP: segment plans plus bookkeeping for reports.
@@ -412,6 +464,7 @@ class NetworkSegmenter:
         self.hardware = hardware
         self.options = options or SegmentationOptions()
         self._allocator = self.options.build_allocator()
+        self._feasibility = FeasibilityModel(hardware)
         self._allocation_cache: Dict[Tuple[int, int], AllocationResult] = {}
         self._shared_cache = cache
         self.allocation_calls = 0
@@ -430,7 +483,7 @@ class NetworkSegmenter:
         key = (start, end)
         if key not in self._allocation_cache:
             profiles = self._segment_profiles(units, start, end)
-            if minimum_compute_arrays(profiles, self.hardware) > self.hardware.num_arrays:
+            if not self._feasibility.segment_fits(profiles):
                 result = AllocationResult({}, INFEASIBLE_LATENCY, False, "infeasible")
             else:
                 result = allocate_segment(

@@ -1,5 +1,17 @@
-"""Cost models: per-operator profiles, Eq. 10 latency, Eq. 1/2/4 overheads."""
+"""Cost models: per-operator profiles, Eq. 10 latency, Eq. 1/2/4 overheads.
 
+:mod:`repro.cost.analytical` adds the segment-free rung-0 bounds the
+tiered evaluation layer (:mod:`repro.eval`) scores candidates with.
+"""
+
+from .analytical import (
+    AnalyticalEstimate,
+    analytical_energy_bound,
+    analytical_graph_estimate,
+    analytical_latency_bound,
+    compute_roofline_cycles,
+    operator_latency_bound,
+)
 from .arithmetic import (
     OperatorProfile,
     mean_arithmetic_intensity,
@@ -34,6 +46,7 @@ from .switching import (
 )
 
 __all__ = [
+    "AnalyticalEstimate",
     "EnergyParameters",
     "EnergyReport",
     "INFEASIBLE_LATENCY",
@@ -41,7 +54,12 @@ __all__ = [
     "OperatorProfile",
     "SegmentResources",
     "aggregate_resources",
+    "analytical_energy_bound",
+    "analytical_graph_estimate",
+    "analytical_latency_bound",
     "best_split_latency",
+    "compute_roofline_cycles",
+    "operator_latency_bound",
     "data_supply_times",
     "compare_energy",
     "compute_rate",

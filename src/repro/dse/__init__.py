@@ -10,10 +10,13 @@ infrastructure instead of ad-hoc sweep loops:
   models, workloads, DEHA parameters and compiler options;
 * :mod:`~repro.dse.planner` — structural dedup + disk-store warmth
   probes, so batches collapse duplicates and schedule warm points first;
-* :mod:`~repro.dse.strategies` — ``grid`` / ``random`` / ``greedy``
-  search under an ask/tell protocol;
+* :mod:`~repro.dse.strategies` — ``grid`` / ``random`` / ``greedy`` /
+  ``successive-halving`` (multi-fidelity) search under an ask/tell
+  protocol;
 * :mod:`~repro.dse.runner` — the loop: strategy -> state skip ->
-  planner -> :class:`~repro.service.CompileService` -> records;
+  planner -> the tiered :mod:`repro.eval` evaluators (analytical lower
+  bounds, cached warm compiles, or the full
+  :class:`~repro.service.CompileService` pipeline) -> records;
 * :mod:`~repro.dse.state` — crash-safe resumable run directories;
 * :mod:`~repro.dse.pareto` — latency/energy/arrays Pareto frontiers
   with text and CSV reports.
@@ -33,9 +36,23 @@ Quickstart::
 The CLI front end is ``repro dse`` (see ``repro dse --help``).
 """
 
-from .pareto import DEFAULT_AXES, dominates, pareto_frontier, render_report, write_csv
+from .pareto import (
+    DEFAULT_AXES,
+    dominates,
+    full_fidelity_records,
+    pareto_frontier,
+    render_report,
+    write_csv,
+)
 from .planner import Plan, PlannedJob, Planner
-from .runner import DSEResult, DSERunner, EvaluationRecord, OBJECTIVES, run_dse
+from .runner import (
+    DSEResult,
+    DSERunner,
+    EvaluationRecord,
+    FIDELITY_MODES,
+    OBJECTIVES,
+    run_dse,
+)
 from .space import DesignPoint, DesignSpace, ParameterAxis, options_signature
 from .state import RunState, RunStateError, STATE_FORMAT_VERSION
 from .strategies import (
@@ -44,6 +61,7 @@ from .strategies import (
     GridStrategy,
     RandomStrategy,
     Strategy,
+    SuccessiveHalvingStrategy,
     make_strategy,
 )
 
@@ -54,6 +72,7 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "EvaluationRecord",
+    "FIDELITY_MODES",
     "GreedyStrategy",
     "GridStrategy",
     "OBJECTIVES",
@@ -67,7 +86,9 @@ __all__ = [
     "STATE_FORMAT_VERSION",
     "STRATEGIES",
     "Strategy",
+    "SuccessiveHalvingStrategy",
     "dominates",
+    "full_fidelity_records",
     "make_strategy",
     "options_signature",
     "pareto_frontier",

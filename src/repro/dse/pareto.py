@@ -25,7 +25,14 @@ import math
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
-__all__ = ["DEFAULT_AXES", "dominates", "pareto_frontier", "render_report", "write_csv"]
+__all__ = [
+    "DEFAULT_AXES",
+    "dominates",
+    "full_fidelity_records",
+    "pareto_frontier",
+    "render_report",
+    "write_csv",
+]
 
 #: Default minimised axes of the frontier.
 DEFAULT_AXES: Tuple[str, ...] = ("latency_ms", "energy_mj", "num_arrays")
@@ -51,12 +58,30 @@ CSV_FIELDS = (
     "disk_hits",
     "wall_seconds",
     "status",
+    "fidelity",
+    "lower_bound",
     "pareto",
 )
 
 
 def _axis_vector(record, axes: Sequence[str]) -> Tuple[float, ...]:
     return tuple(float(getattr(record, axis)) for axis in axes)
+
+
+def full_fidelity_records(records: Sequence) -> List:
+    """The records whose metrics describe a real plan, not a lower bound.
+
+    Mixed-fidelity results must rank, crown and dominate only on these —
+    an optimistic analytical bound would otherwise beat every plan it
+    merely approximates.  A pure rung-0 screening (no full-fidelity
+    record at all) falls back to every record: comparing bounds against
+    each other is exactly what a screening is for.  Records without a
+    ``lower_bound`` attribute (pre-fidelity data) count as full fidelity.
+    """
+    full = [
+        record for record in records if not getattr(record, "lower_bound", False)
+    ]
+    return full if full else list(records)
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -94,7 +119,11 @@ def pareto_frontier(records: Sequence, axes: Sequence[str] = DEFAULT_AXES) -> Li
             if j != index
         )
     ]
-    frontier.sort(key=lambda record: _axis_vector(record, axes))
+    # Point key breaks axis-vector ties so equal trade-offs render (and
+    # serialise) in the same order regardless of evaluation order.
+    frontier.sort(
+        key=lambda record: (_axis_vector(record, axes), record.point_key)
+    )
     return frontier
 
 
@@ -106,10 +135,14 @@ def render_report(
 ) -> str:
     """Text report: the frontier table plus evaluation totals.
 
-    ``frontier`` lets callers reuse an already-computed frontier.
+    ``frontier`` lets callers reuse an already-computed frontier.  The
+    "best" line and the dominated count rank only full-fidelity records
+    (see :func:`full_fidelity_records`) — in a mixed run an analytical
+    lower bound must not be crowned best over the real plans.
     """
+    pool = full_fidelity_records(records)
     if frontier is None:
-        frontier = pareto_frontier(records, axes)
+        frontier = pareto_frontier(pool, axes)
     frontier_keys = {record.point_key for record in frontier}
     feasible = sum(1 for record in records if getattr(record, "feasible", False))
     lines = [
@@ -127,7 +160,7 @@ def render_report(
             f"{record.num_segments:9d}"
         )
     best = min(
-        (record for record in records if getattr(record, "feasible", False)),
+        (record for record in pool if getattr(record, "feasible", False)),
         key=lambda record: record.objective_value,
         default=None,
     )
@@ -138,12 +171,14 @@ def render_report(
         )
     dominated = [
         record
-        for record in records
+        for record in pool
         if getattr(record, "feasible", False) and record.point_key not in frontier_keys
     ]
-    lines.append(
-        f"dominated: {len(dominated)}, infeasible/failed: {len(records) - feasible}"
-    )
+    totals = f"dominated: {len(dominated)}, infeasible/failed: {len(records) - feasible}"
+    screened = len(records) - len(pool)
+    if screened:
+        totals += f", lower-bound screened: {screened}"
+    lines.append(totals)
     return "\n".join(lines)
 
 

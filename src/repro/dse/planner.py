@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cache import AllocationCacheKey, profile_signature
-from ..core.segmentation import FlattenedUnit, flatten_graph, live_elements_at_boundary
+from ..core.segmentation import (
+    FlattenedUnit,
+    first_window_cache_key,
+    flatten_graph,
+)
 from ..core.store import DiskCacheStore
 from ..ir.graph import Graph
 from ..models.registry import build_model
@@ -140,36 +144,14 @@ class Planner:
     def first_window_key(self, point: DesignPoint) -> Optional[AllocationCacheKey]:
         """The cache key of the first allocation the DP will request.
 
-        Mirrors :meth:`NetworkSegmenter._allocate` for the window
-        ``units[0:1]`` of the dual/fixed pass the point's options select:
-        same engine name, pipelining, refinement, memory-mode flag and
-        boundary reserve.  If this key is on disk, the run that produced
-        it solved this exact sub-problem before — the strongest cheap
-        signal that the whole candidate is warm.
+        Delegates to :func:`repro.core.segmentation
+        .first_window_cache_key` — the same helper the cached evaluation
+        tier probes with, so the planner's warmth signal and the
+        evaluator's warm/cold verdict can never disagree.
         """
         graph = self.graph_for(point)
         units = self._units_for(graph, point)
-        if not units:
-            return None
-        first = units[0]
-        profiles = {first.name: first.profile}
-        options = point.options
-        reserve = 0
-        if options.allow_memory_mode and len(units) > 1:
-            live = live_elements_at_boundary(units, 0)
-            if live > 0:
-                capacity = point.hardware.array_capacity_elements
-                need = -(-live // capacity)
-                reserve = min(need, point.hardware.num_arrays // 2)
-        return AllocationCacheKey.build(
-            profiles,
-            point.hardware,
-            engine="milp" if options.use_milp else "greedy",
-            pipelined=options.pipelined,
-            refine=options.refine,
-            allow_memory_mode=options.allow_memory_mode,
-            reserve_arrays=reserve,
-        )
+        return first_window_cache_key(units, point.hardware, point.options)
 
     def is_warm(self, point: DesignPoint) -> bool:
         """Whether the persistent store already holds the point's first solve."""
@@ -183,7 +165,7 @@ class Planner:
     # ------------------------------------------------------------------ #
     # planning
     # ------------------------------------------------------------------ #
-    def plan(self, points: Sequence[DesignPoint]) -> Plan:
+    def plan(self, points: Sequence[DesignPoint], fidelity: str = "compile") -> Plan:
         """Collapse structural duplicates and order warm jobs first.
 
         A point whose graph cannot even be built (unknown model name, a
@@ -191,6 +173,14 @@ class Planner:
         with ``graph=None`` — the compile service rebuilds it, fails,
         and the failure lands in that point's record instead of killing
         the batch.
+
+        ``fidelity`` is the tier the batch will be evaluated at.
+        Structural dedup applies at every fidelity (structurally
+        identical candidates score identically at any tier), but the
+        disk-store warmth probe only runs for the tiers that would
+        actually touch the solver (``cached`` / ``compile``) — an
+        analytical batch performs no solves, so probing would be pure
+        I/O with nothing to schedule around.
         """
         jobs_by_key: Dict[str, PlannedJob] = {}
         order: List[str] = []
@@ -208,8 +198,9 @@ class Planner:
             jobs_by_key[key] = PlannedJob(point=point, graph=graph, structural_key=key)
             order.append(key)
         jobs = [jobs_by_key[key] for key in order]
+        probe = fidelity != "analytical"
         for job in jobs:
-            job.warm = job.graph is not None and self.is_warm(job.point)
+            job.warm = probe and job.graph is not None and self.is_warm(job.point)
         # Stable warm-first ordering (sort is stable, False < True).
         jobs.sort(key=lambda job: not job.warm)
         n_warm = sum(1 for job in jobs if job.warm)

@@ -1,27 +1,36 @@
-"""The DSE runner: strategy-driven, cache-aware, resumable exploration.
+"""The DSE runner: strategy-driven, fidelity-aware, resumable exploration.
 
 :class:`DSERunner` wires the subsystem together.  Each iteration it
 
 1. asks the :mod:`strategy <repro.dse.strategies>` for a batch of
-   candidate points (bounded by the remaining budget),
-2. skips every point whose key the resumable :class:`~repro.dse.state
-   .RunState` already holds (their stored records are still fed back to
-   the strategy so adaptive search resumes with full knowledge),
+   candidate points (bounded by the remaining budget) and resolves the
+   batch's evaluation *fidelity* — the strategy's declared rung when the
+   runner is in ``auto`` mode, the runner's fixed fidelity otherwise,
+2. skips every point the resumable :class:`~repro.dse.state.RunState`
+   already holds *at sufficient fidelity* (their stored records are
+   still fed back to the strategy so adaptive search resumes with full
+   knowledge; an analytical record does not satisfy a compile-fidelity
+   request),
 3. hands the rest to the cache-aware :class:`~repro.dse.planner.Planner`
-   — structural duplicates collapse to one compile, warm candidates are
-   scheduled before cold ones,
-4. compiles the planned jobs through a
-   :class:`~repro.service.CompileService` (thread or process backend,
-   sharing the persistent allocation store), and
-5. converts each outcome to an :class:`EvaluationRecord` — latency,
-   energy, array usage, solver statistics — appends it durably to the
-   run state, and tells the strategy.
+   — structural duplicates collapse to one evaluation, warm candidates
+   are scheduled before cold ones,
+4. evaluates the planned jobs through the batch's tier of the
+   :mod:`repro.eval` evaluator layer —
+   :class:`~repro.eval.AnalyticalEvaluator` (closed-form lower bounds,
+   zero allocator solves), :class:`~repro.eval.CachedEvaluator`
+   (store-probe + warm compile) or :class:`~repro.eval.CompileEvaluator`
+   (the full pipeline over a :class:`~repro.service.CompileService`) —
+   and
+5. converts each typed :class:`~repro.eval.Evaluation` to an
+   :class:`EvaluationRecord` — latency, energy, array usage, fidelity
+   tag, solver statistics — appends it durably to the run state, and
+   tells the strategy.
 
 The loop ends when the budget is spent or the strategy exhausts the
 space.  The returned :class:`DSEResult` carries every record known at
 the end (resumed and new), the aggregate counters the CLI and CI assert
-on (evaluated / replicated / skipped / allocator solves), and the Pareto
-reporting entry points.
+on (evaluated / replicated / skipped / allocator solves / per-fidelity
+evaluations), and the Pareto reporting entry points.
 
 :meth:`repro.api.Session.explore` is the public entry point: it builds
 a runner sharing the session's allocation cache and backend, so a sweep
@@ -37,18 +46,44 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.cache import AllocationCache
-from ..cost.energy import estimate_energy
-from ..service import CompileJob, CompileJobResult, CompileService
-from .pareto import DEFAULT_AXES, pareto_frontier, render_report, write_csv
+from ..eval import (
+    AnalyticalEvaluator,
+    CachedEvaluator,
+    CompileEvaluator,
+    Evaluation,
+    Evaluator,
+    fidelity_rank,
+)
+from ..service import CompileJob, CompileService
+from .pareto import (
+    DEFAULT_AXES,
+    full_fidelity_records,
+    pareto_frontier,
+    render_report,
+    write_csv,
+)
 from .planner import Planner
 from .space import DesignPoint, DesignSpace
 from .state import RunState
-from .strategies import Strategy, make_strategy
+from .strategies import Strategy, SuccessiveHalvingStrategy, make_strategy
 
-__all__ = ["DSEResult", "DSERunner", "EvaluationRecord", "OBJECTIVES", "run_dse"]
+__all__ = [
+    "DSEResult",
+    "DSERunner",
+    "EvaluationRecord",
+    "FIDELITY_MODES",
+    "OBJECTIVES",
+    "run_dse",
+]
 
 #: Supported optimisation objectives (record attribute each minimises).
 OBJECTIVES = {"latency": "latency_ms", "energy": "energy_mj"}
+
+#: Valid ``DSERunner(fidelity=...)`` values.  ``"auto"`` defers to the
+#: strategy's multi-fidelity schedule (installing a
+#: :class:`~repro.dse.strategies.SuccessiveHalvingStrategy` when the
+#: given strategy is fidelity-agnostic).
+FIDELITY_MODES = ("analytical", "cached", "compile", "auto")
 
 
 @dataclass
@@ -58,11 +93,19 @@ class EvaluationRecord:
     This is the unit the run state persists, the strategies steer on,
     and the Pareto reports consume.
 
-    ``status`` is one of ``"evaluated"`` (a real compile — feasible or
-    not), ``"replicated"`` (copied from a structurally identical point
-    of the same batch) or ``"resumed"`` (loaded from the run state).
+    ``status`` is one of ``"evaluated"`` (a real evaluation — feasible
+    or not), ``"replicated"`` (copied from a structurally identical
+    point of the same batch), ``"resumed"`` (loaded from the run state)
+    or ``"cold"`` (a cached-fidelity probe declined the point; nothing
+    durable was recorded, so a later run retries it).
 
-    An infeasible point (the compiler proves no plan exists — the
+    ``fidelity`` tags which evaluation tier produced the metrics
+    (``"analytical"`` metrics are optimistic lower bounds —
+    ``lower_bound`` is then also set).  Records written before the
+    fidelity field existed deserialise as ``"compile"``, which is what
+    they were.
+
+    An infeasible point (the evaluator proves no plan exists — the
     boundary a DSE sweep exists to find) has ``feasible=False`` with
     ``failed=False``; ``failed=True`` marks genuine errors (unknown
     model, a crash inside the pipeline).
@@ -81,6 +124,8 @@ class EvaluationRecord:
     #: under — ``coords`` only index that grid, so a resume under a
     #: different declaration must not reuse them.
     space_fingerprint: str = ""
+    fidelity: str = "compile"
+    lower_bound: bool = False
     feasible: bool = False
     latency_ms: float = math.inf
     cycles: float = math.inf
@@ -126,12 +171,18 @@ class DSEResult:
     """Outcome of one :meth:`DSERunner.run` call.
 
     Attributes:
-        records: Every record known at the end of the run — resumed
-            entries first (file order), then this run's, in evaluation
-            order.
-        new_records: Only this run's records.
+        records: The final record of every point known at the end of the
+            run — resumed entries first (file order), then this run's,
+            in evaluation order.  A point evaluated at several
+            fidelities (the ``auto`` schedule) appears once, at its
+            highest fidelity.
+        new_records: Every record this run produced, in evaluation order
+            (a promoted point contributes one record per fidelity — the
+            honest log of what was paid for).
         evaluated / replicated / skipped: Point counters (skipped =
             served from the run state).
+        evaluated_by_fidelity: Canonical evaluations per fidelity tag
+            (cached-tier declines count under ``"cold"``).
         warm_planned / cold_planned: Canonical jobs by planner probe.
         allocator_solves / disk_hits: Aggregates over ``new_records``.
         objective: The optimisation objective of the run.
@@ -143,6 +194,7 @@ class DSEResult:
     evaluated: int = 0
     replicated: int = 0
     skipped: int = 0
+    evaluated_by_fidelity: Dict[str, int] = field(default_factory=dict)
     warm_planned: int = 0
     cold_planned: int = 0
     allocator_solves: int = 0
@@ -156,13 +208,19 @@ class DSEResult:
     def frontier(self, axes: Sequence[str] = DEFAULT_AXES) -> List[EvaluationRecord]:
         """Pareto frontier over ``axes`` of every known record.
 
+        When the run holds any full-fidelity record (``compile`` /
+        ``cached``), only those participate — analytical lower bounds
+        would otherwise dominate real plans they merely approximate.  A
+        pure rung-0 sweep ranks its bounds against each other, which is
+        exactly what a lower-bound screening is for.
+
         Memoised per axis tuple — the dominance scan is O(n²) and both
         report renderers need the same frontier.
         """
         key = tuple(axes)
         cached = self._frontier_cache.get(key)
         if cached is None:
-            cached = pareto_frontier(self.records, axes)
+            cached = pareto_frontier(full_fidelity_records(self.records), axes)
             self._frontier_cache[key] = cached
         return cached
 
@@ -178,10 +236,15 @@ class DSEResult:
 
     def summary(self) -> str:
         """Counter block the CLI prints (and CI smoke tests grep)."""
+        by_fidelity = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.evaluated_by_fidelity.items())
+        ) or "none"
         return "\n".join(
             [
                 f"points: {self.evaluated} evaluated, {self.replicated} replicated, "
                 f"{self.skipped} skipped (already evaluated)",
+                f"fidelity: {by_fidelity}",
                 f"planner: {self.warm_planned} warm, {self.cold_planned} cold",
                 f"total allocator solves: {self.allocator_solves}",
                 f"total disk hits: {self.disk_hits}",
@@ -195,9 +258,18 @@ class DSERunner:
 
     Args:
         space: The candidate grid.
-        strategy: Strategy instance or name (``grid``/``random``/``greedy``).
+        strategy: Strategy instance or name (``grid`` / ``random`` /
+            ``greedy`` / ``successive-halving``).
         objective: ``"latency"`` or ``"energy"`` — what adaptive
             strategies minimise and reports highlight.
+        fidelity: Evaluation tier for every batch —
+            ``"compile"`` (default, the full pipeline),
+            ``"analytical"`` (closed-form lower bounds, zero solves),
+            ``"cached"`` (store-probe + warm compile; cold candidates
+            are declined and retried by a later run) or ``"auto"``
+            (obey the strategy's multi-fidelity schedule; a
+            fidelity-agnostic strategy is replaced by
+            :class:`~repro.dse.strategies.SuccessiveHalvingStrategy`).
         cache: Shared :class:`AllocationCache` (mutually exclusive with
             ``cache_dir``), for embedding the runner into a larger
             in-process pipeline.
@@ -215,6 +287,7 @@ class DSERunner:
         space: DesignSpace,
         strategy: Union[str, Strategy] = "grid",
         objective: str = "latency",
+        fidelity: str = "compile",
         cache: Optional[AllocationCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         backend: str = "thread",
@@ -227,13 +300,23 @@ class DSERunner:
             raise ValueError(
                 f"unknown objective {objective!r}; known: {', '.join(sorted(OBJECTIVES))}"
             )
+        if fidelity not in FIDELITY_MODES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; known: {', '.join(FIDELITY_MODES)}"
+            )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.space = space
         self.strategy = (
             make_strategy(strategy, seed=seed) if isinstance(strategy, str) else strategy
         )
+        if fidelity == "auto" and not getattr(self.strategy, "multi_fidelity", False):
+            # "auto" means "schedule by fidelity"; a fidelity-agnostic
+            # strategy cannot, so the canonical multi-fidelity schedule
+            # takes over (rung-0 analytical sweep, survivors compiled).
+            self.strategy = SuccessiveHalvingStrategy(seed=seed)
         self.objective = objective
+        self.fidelity = fidelity
         self.state = state
         self.batch_size = batch_size
         self.service = CompileService(
@@ -241,6 +324,35 @@ class DSERunner:
         )
         store = self.service.cache.store if self.service.cache is not None else None
         self.planner = Planner(store=store)
+        self._evaluators: Dict[str, Evaluator] = {}
+
+    def evaluator(self, fidelity: str) -> Evaluator:
+        """The (lazily built, memoised) evaluator of one fidelity tier."""
+        evaluator = self._evaluators.get(fidelity)
+        if evaluator is None:
+            if fidelity == "analytical":
+                evaluator = AnalyticalEvaluator()
+            elif fidelity == "cached":
+                evaluator = CachedEvaluator(self.service)
+            elif fidelity == "compile":
+                evaluator = CompileEvaluator(self.service)
+            else:
+                raise ValueError(f"no evaluator for fidelity {fidelity!r}")
+            self._evaluators[fidelity] = evaluator
+        return evaluator
+
+    def _batch_fidelity(self) -> str:
+        """Fidelity of the upcoming batch (read *after* strategy.ask)."""
+        if self.fidelity == "auto":
+            return getattr(self.strategy, "fidelity", None) or "compile"
+        return self.fidelity
+
+    @staticmethod
+    def _satisfies(record: EvaluationRecord, requested: str) -> bool:
+        """Whether a known record answers a request at ``requested`` fidelity."""
+        return fidelity_rank(getattr(record, "fidelity", None)) >= fidelity_rank(
+            requested
+        )
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -248,15 +360,33 @@ class DSERunner:
     def run(self, budget: Optional[int] = None) -> DSEResult:
         """Explore until ``budget`` points are covered or the space ends.
 
-        ``budget`` counts points *covered this run* (fresh compiles plus
-        replications); points skipped via the run state are free, so a
-        resumed run spends its whole budget on new ground.
+        ``budget`` counts points *covered this run* (fresh evaluations
+        plus replications, at any fidelity); points skipped via the run
+        state are free, so a resumed run spends its whole budget on new
+        ground.
         """
         start = time.perf_counter()
         self.strategy.bind(self.space)
         result = DSEResult(objective=self.objective)
 
+        # ``known`` holds the best (highest-fidelity, then latest) record
+        # per point for skip decisions and the final report;
+        # ``known_tiers`` additionally keeps each fidelity's own record,
+        # so a multi-fidelity strategy resuming a run is told the score
+        # of the tier it asked at — ranking rung-0 candidates on a mix
+        # of lower bounds and compiled actuals would re-promote a
+        # different survivor set on every resume.
         known: Dict[str, EvaluationRecord] = {}
+        known_tiers: Dict[Tuple[str, str], EvaluationRecord] = {}
+
+        def remember(record: EvaluationRecord) -> None:
+            known_tiers[(record.point_key, record.fidelity)] = record
+            current = known.get(record.point_key)
+            if current is None or fidelity_rank(record.fidelity) >= fidelity_rank(
+                current.fidelity
+            ):
+                known[record.point_key] = record
+
         if self.state is not None:
             current_fingerprint = self.space.fingerprint()
             for payload in self.state.records:
@@ -280,31 +410,42 @@ class DSERunner:
                 record.objective = self.objective
                 metric = getattr(record, OBJECTIVES[self.objective])
                 record.objective_value = metric if record.feasible else math.inf
-                known[record.point_key] = record
+                remember(record)
 
-        budget_left = budget if budget is not None else self.space.size
+        # No budget means "run the strategy's whole schedule" — for a
+        # multi-fidelity strategy that is more than one pass over the
+        # grid (rung 0 plus the promotions), so the cap is the
+        # strategy's exhaustion, not the space size.
+        budget_left: float = budget if budget is not None else math.inf
         while budget_left > 0 and not self.strategy.exhausted:
             points = self.strategy.ask(min(self.batch_size, budget_left))
             if not points:
                 break
+            batch_fidelity = self._batch_fidelity()
             fresh: List[DesignPoint] = []
             resumed: List[EvaluationRecord] = []
             for point in points:
                 record = known.get(point.key)
-                if record is not None:
+                if record is not None and self._satisfies(record, batch_fidelity):
                     result.skipped += 1
-                    resumed.append(record)
+                    # Feed the strategy the record of the tier it asked
+                    # at when one exists — a rung-0 ask is answered with
+                    # the rung-0 score even if a promoted (compiled)
+                    # record supersedes it in the report.
+                    resumed.append(
+                        known_tiers.get((point.key, batch_fidelity), record)
+                    )
                 else:
                     fresh.append(point)
             batch_records: List[EvaluationRecord] = []
             if fresh:
-                plan = self.planner.plan(fresh)
+                plan = self.planner.plan(fresh, fidelity=batch_fidelity)
                 result.warm_planned += plan.n_warm
                 result.cold_planned += plan.n_cold
                 jobs = [
                     CompileJob(
                         # An unplannable point (graph=None) ships its model
-                        # reference; the service's rebuild surfaces the
+                        # reference; the evaluator's rebuild surfaces the
                         # error into this job's own result.
                         job.graph if job.graph is not None else job.point.model,
                         workload=job.point.workload,
@@ -314,35 +455,52 @@ class DSERunner:
                     )
                     for job in plan.jobs
                 ]
-                outcomes = self.service.compile_batch(jobs)
-                for planned, outcome in zip(plan.jobs, outcomes):
-                    record = self._record(planned.point, outcome)
+                # The planner just probed every canonical job; hand the
+                # verdicts to the evaluator so the cached tier does not
+                # probe (and flatten) each candidate a second time.
+                evaluations = self.evaluator(batch_fidelity).evaluate_batch(
+                    jobs, warm_hints=[job.warm for job in plan.jobs]
+                )
+                for planned, evaluation in zip(plan.jobs, evaluations):
+                    record = self._record(planned.point, evaluation)
                     batch_records.append(record)
                     result.evaluated += 1
+                    tally = "cold" if evaluation.skipped else evaluation.fidelity
+                    result.evaluated_by_fidelity[tally] = (
+                        result.evaluated_by_fidelity.get(tally, 0) + 1
+                    )
                     for duplicate in planned.duplicates:
                         batch_records.append(self._replicate(record, duplicate))
                         result.replicated += 1
                 budget_left -= len(fresh)
             for record in batch_records:
-                known[record.point_key] = record
-                if self.state is not None:
-                    self.state.append(record.to_dict())
+                if record.status != "cold":
+                    # A declined (cold) cached-tier probe produced no
+                    # metrics: remembering it would shadow any real
+                    # record of the point in the report, and persisting
+                    # it would finalise the point and stop a warmer
+                    # later run from answering it.  It still reaches
+                    # ``new_records`` (the honest log) and the strategy.
+                    remember(record)
+                    if self.state is not None:
+                        self.state.append(record.to_dict())
                 result.new_records.append(record)
                 result.allocator_solves += record.allocator_solves
                 result.disk_hits += record.disk_hits
             self.strategy.tell(batch_records + resumed)
 
-        new_keys = {record.point_key for record in result.new_records}
-        result.records = [
-            record for record in known.values() if record.point_key not in new_keys
-        ] + result.new_records
+        # One final record per point: ``known`` keeps resumed entries in
+        # file order and this run's in evaluation order, and an ``auto``
+        # schedule's promotion overwrites the rung-0 record in place.
+        result.records = list(known.values())
         result.wall_seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------ #
     # record construction
     # ------------------------------------------------------------------ #
-    def _record(self, point: DesignPoint, outcome: CompileJobResult) -> EvaluationRecord:
+    def _record(self, point: DesignPoint, evaluation: Evaluation) -> EvaluationRecord:
+        """Convert one typed evaluation into the persistent record shape."""
         record = EvaluationRecord(
             point_key=point.key,
             model=point.model_name,
@@ -354,32 +512,27 @@ class DSERunner:
             allow_memory_mode=point.options.allow_memory_mode,
             objective=self.objective,
             space_fingerprint=self.space.fingerprint(),
-            wall_seconds=outcome.wall_seconds,
+            fidelity=evaluation.fidelity,
+            lower_bound=evaluation.lower_bound,
+            wall_seconds=evaluation.eval_seconds,
+            allocator_solves=evaluation.allocator_solves,
+            cache_hits=evaluation.cache_hits,
+            disk_hits=evaluation.disk_hits,
         )
-        if not outcome.ok:
-            # NoFeasiblePlanError is a legitimate DSE outcome (the design
-            # point is too small for the workload) and is not a failure;
-            # anything else is, but either way the sweep continues.  The
-            # solver work done before the failure still counts.
-            record.error = outcome.error
-            record.failed = not (outcome.error or "").startswith("NoFeasiblePlanError")
-            record.allocator_solves = int(outcome.stats.get("allocator_solves", 0))
-            record.cache_hits = int(outcome.stats.get("allocation_cache_hits", 0))
-            record.disk_hits = int(outcome.stats.get("allocation_disk_hits", 0))
+        if evaluation.skipped:
+            record.status = "cold"
+            record.error = evaluation.error
             return record
-        program = outcome.program
+        if not evaluation.feasible:
+            record.error = evaluation.error
+            record.failed = evaluation.failed
+            return record
         record.feasible = True
-        record.latency_ms = program.end_to_end_ms
-        record.cycles = program.end_to_end_cycles
-        record.energy_mj = estimate_energy(program).end_to_end_mj
-        record.num_segments = program.num_segments
-        record.peak_arrays = max(
-            (segment.compute_arrays + segment.memory_arrays for segment in program.segments),
-            default=0,
-        )
-        record.allocator_solves = int(outcome.stats.get("allocator_solves", 0))
-        record.cache_hits = int(outcome.stats.get("allocation_cache_hits", 0))
-        record.disk_hits = int(outcome.stats.get("allocation_disk_hits", 0))
+        record.latency_ms = evaluation.latency_ms
+        record.cycles = evaluation.cycles
+        record.energy_mj = evaluation.energy_mj
+        record.num_segments = evaluation.num_segments
+        record.peak_arrays = evaluation.peak_arrays
         record.objective_value = getattr(record, OBJECTIVES[self.objective])
         return record
 
@@ -391,6 +544,7 @@ class DSERunner:
         The copy costs nothing, so its solver counters are zero — the
         CSV stays an honest account of where time actually went.
         """
+        status = "cold" if canonical.status == "cold" else "replicated"
         return dc_replace(
             canonical,
             point_key=point.key,
@@ -401,7 +555,7 @@ class DSERunner:
             cache_hits=0,
             disk_hits=0,
             wall_seconds=0.0,
-            status="replicated",
+            status=status,
         )
 
 

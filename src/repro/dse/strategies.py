@@ -23,6 +23,13 @@ Three built-ins cover the common sweep shapes:
   survivors (falling back to random exploration when the neighbourhoods
   are exhausted).  Converges on a good region of a smooth objective with
   a fraction of the grid budget.
+* ``successive-halving`` — the real multi-fidelity schedule the tiered
+  evaluator layer (:mod:`repro.eval`) enables: rung 0 proposes *every*
+  candidate at ``analytical`` fidelity (closed-form lower bounds, zero
+  allocator solves), then the best ``keep_fraction`` survivors are
+  re-proposed at ``compile`` fidelity.  The strategy announces the
+  fidelity of its current rung via :attr:`Strategy.fidelity`, which a
+  runner in ``--fidelity auto`` mode obeys.
 
 All randomness flows from an explicit seed — two runs with the same seed
 propose the same points in the same order, which the resumable run state
@@ -33,7 +40,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .space import DesignPoint, DesignSpace
 
@@ -43,14 +50,29 @@ __all__ = [
     "RandomStrategy",
     "STRATEGIES",
     "Strategy",
+    "SuccessiveHalvingStrategy",
     "make_strategy",
 ]
 
 
 class Strategy:
-    """Base class: proposal bookkeeping shared by every strategy."""
+    """Base class: proposal bookkeeping shared by every strategy.
+
+    :attr:`fidelity` is the multi-fidelity hook: a strategy that
+    schedules evaluation tiers (``successive-halving``) sets it to the
+    fidelity its *latest* :meth:`ask` batch should be evaluated at, and
+    a runner in ``auto`` fidelity mode obeys it.  Fidelity-agnostic
+    strategies leave it ``None`` (the runner then applies its own
+    default).
+    """
 
     name = "base"
+
+    #: Fidelity requested for the latest ask() batch (None = runner's choice).
+    fidelity: Optional[str] = None
+
+    #: Whether the strategy schedules evaluation fidelities itself.
+    multi_fidelity = False
 
     def __init__(self) -> None:
         self.space: DesignSpace = None  # type: ignore[assignment]
@@ -151,6 +173,26 @@ class GreedyStrategy(Strategy):
         random.Random(self.seed).shuffle(self._explore)
         # coords -> best objective seen (records may repeat on resume).
         self._scores: Dict[Tuple[int, ...], float] = {}
+        # Point keys already proposed or told.  Distinct coordinates can
+        # materialise to the same point key (duplicate axis values,
+        # option canonicalisation), and near a space edge a survivor's
+        # neighbourhood collapses onto such aliases — without key-level
+        # dedup the strategy re-proposes an already-told point and the
+        # batch burns budget replicating it.
+        self._seen_keys: set = set()
+
+    def _propose_unseen(self, coords: Tuple[int, ...]) -> Optional[DesignPoint]:
+        """Propose ``coords`` unless its point key was already seen.
+
+        An aliased coordinate is still marked proposed (it is consumed
+        either way) so the exhaustion accounting stays correct.
+        """
+        point = self.space.point_at(coords)
+        self._proposed.add(coords)
+        if point.key in self._seen_keys:
+            return None
+        self._seen_keys.add(point.key)
+        return point
 
     def ask(self, n: int) -> List[DesignPoint]:
         batch: List[DesignPoint] = []
@@ -162,7 +204,10 @@ class GreedyStrategy(Strategy):
                 for neighbor in self.space.neighbors(coords):
                     if neighbor in self._proposed:
                         continue
-                    batch.append(self._propose(neighbor))
+                    point = self._propose_unseen(neighbor)
+                    if point is None:
+                        continue
+                    batch.append(point)
                     if len(batch) >= n:
                         return batch
         # Explore: seeded random fill.
@@ -170,11 +215,16 @@ class GreedyStrategy(Strategy):
             coords = self._explore.pop(0)
             if coords in self._proposed:
                 continue
-            batch.append(self._propose(coords))
+            point = self._propose_unseen(coords)
+            if point is not None:
+                batch.append(point)
         return batch
 
     def tell(self, records: Sequence) -> None:
         for record in records:
+            key = getattr(record, "point_key", None)
+            if key:
+                self._seen_keys.add(key)
             value = getattr(record, "objective_value", None)
             if value is None or not getattr(record, "feasible", False):
                 value = math.inf
@@ -185,15 +235,114 @@ class GreedyStrategy(Strategy):
             self._scores[coords] = min(previous, float(value))
 
 
+class SuccessiveHalvingStrategy(Strategy):
+    """Multi-fidelity successive halving over the tiered evaluator layer.
+
+    Rung 0 proposes every candidate of the space (seeded order) at
+    ``analytical`` fidelity — closed-form lower bounds, zero allocator
+    solves — so the whole grid is scored for the price of none of it.
+    Once every rung-0 answer is told back, the feasible candidates are
+    ranked by objective (a lower bound ranks candidates fairly: it is
+    monotone in the same hardware/option knobs the real cost is) and the
+    best ``keep_fraction`` are re-proposed at ``compile`` fidelity.  The
+    runner reads :attr:`fidelity` after each :meth:`ask` to evaluate the
+    batch at the rung's tier.
+
+    Records already known at full fidelity (a resumed run) short-circuit
+    naturally: the runner feeds them back as ``resumed`` without paying
+    for re-evaluation, at either rung.
+
+    Args:
+        seed: RNG seed for the rung-0 proposal order.
+        keep_fraction: Fraction of ranked feasible candidates promoted
+            to compile fidelity (default 0.5; ``1/eta`` in
+            successive-halving terms).
+    """
+
+    name = "successive-halving"
+    multi_fidelity = True
+
+    def __init__(self, seed: int = 0, keep_fraction: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        self.seed = seed
+        self.keep_fraction = keep_fraction
+
+    def bind(self, space: DesignSpace) -> None:
+        super().bind(space)
+        self._rung0_queue = list(space.coordinates())
+        random.Random(self.seed).shuffle(self._rung0_queue)
+        self._rung0_asked = 0
+        self._rung0_told = 0
+        # coords -> best rung-0 objective (records may repeat on resume).
+        self._rung0_scores: Dict[Tuple[int, ...], float] = {}
+        self._promotions: Optional[List[Tuple[int, ...]]] = None
+        self.fidelity = "analytical"
+
+    @property
+    def exhausted(self) -> bool:
+        if self._rung0_queue:
+            return False
+        if self._promotions is None:
+            # Rung 0 proposed but not fully told yet — the promotion
+            # rung is still to come.
+            return False
+        return not self._promotions
+
+    def ask(self, n: int) -> List[DesignPoint]:
+        batch: List[DesignPoint] = []
+        if self._rung0_queue:
+            self.fidelity = "analytical"
+            while self._rung0_queue and len(batch) < n:
+                coords = self._rung0_queue.pop(0)
+                self._rung0_asked += 1
+                batch.append(self._propose(coords))
+            return batch
+        if self._promotions is None:
+            if self._rung0_told < self._rung0_asked:
+                # Still waiting for rung-0 answers; the runner always
+                # tells between asks, so this only guards misuse.
+                return []
+            ranked = sorted(
+                (
+                    (value, coords)
+                    for coords, value in self._rung0_scores.items()
+                    if math.isfinite(value)
+                ),
+            )
+            keep = math.ceil(len(ranked) * self.keep_fraction) if ranked else 0
+            self._promotions = [coords for _, coords in ranked[:keep]]
+        self.fidelity = "compile"
+        while self._promotions and len(batch) < n:
+            coords = self._promotions.pop(0)
+            batch.append(self.space.point_at(coords))
+        return batch
+
+    def tell(self, records: Sequence) -> None:
+        for record in records:
+            if self._promotions is None:
+                self._rung0_told += 1
+                coords = tuple(getattr(record, "coords", ()))
+                if not coords:
+                    continue
+                value = getattr(record, "objective_value", None)
+                if value is None or not getattr(record, "feasible", False):
+                    value = math.inf
+                previous = self._rung0_scores.get(coords, math.inf)
+                self._rung0_scores[coords] = min(previous, float(value))
+
+
 STRATEGIES = {
     "grid": GridStrategy,
     "random": RandomStrategy,
     "greedy": GreedyStrategy,
+    "successive-halving": SuccessiveHalvingStrategy,
 }
 
 
 def make_strategy(name: str, seed: int = 0) -> Strategy:
-    """Instantiate a strategy by name (``grid`` / ``random`` / ``greedy``)."""
+    """Instantiate a strategy by name (see :data:`STRATEGIES`)."""
     try:
         cls = STRATEGIES[name]
     except KeyError:

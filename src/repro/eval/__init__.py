@@ -1,0 +1,54 @@
+"""Tiered candidate evaluation: analytical -> cached -> full compile.
+
+The paper's DSE results (Figs. 16-17) hinge on scoring many (hardware,
+option) candidates cheaply; this package makes "evaluate a candidate" a
+first-class, fidelity-tagged operation instead of a synonym for "run
+the whole compiler":
+
+* :class:`AnalyticalEvaluator` — rung 0: closed-form lower bounds from
+  :mod:`repro.cost.analytical`, feasibility from the shared
+  :class:`~repro.core.feasibility.FeasibilityModel`, **zero** allocator
+  solves;
+* :class:`CachedEvaluator` — a persistent-store ``contains`` probe
+  followed by a warm compile; cold candidates are declined, not solved;
+* :class:`CompileEvaluator` — the full pass pipeline (bit-identical to
+  direct compilation, ratcheted by the parity suite).
+
+All three return the same typed :class:`Evaluation` (metrics, fidelity
+tag, lower-bound flag, cost of evaluation), which is what lets the DSE
+layer run multi-fidelity schedules — a cheap analytical sweep of the
+whole space, then full compiles for the survivors — under the existing
+ask/tell strategy protocol (``repro dse --fidelity auto``).
+
+Quickstart::
+
+    from repro.eval import AnalyticalEvaluator, CompileEvaluator
+    from repro.service import CompileJob
+
+    job = CompileJob("resnet18", hardware="dynaplasia")
+    bound = AnalyticalEvaluator().evaluate(job)     # microseconds, 0 solves
+    exact = CompileEvaluator().evaluate(job)        # the full pipeline
+    assert bound.cycles <= exact.cycles             # a true lower bound
+"""
+
+from .analytical import AnalyticalEvaluator
+from .base import (
+    FIDELITIES,
+    FIDELITY_RANK,
+    Evaluation,
+    Evaluator,
+    fidelity_rank,
+)
+from .compiled import CachedEvaluator, CompileEvaluator, evaluation_from_outcome
+
+__all__ = [
+    "AnalyticalEvaluator",
+    "CachedEvaluator",
+    "CompileEvaluator",
+    "Evaluation",
+    "Evaluator",
+    "FIDELITIES",
+    "FIDELITY_RANK",
+    "evaluation_from_outcome",
+    "fidelity_rank",
+]

@@ -1,0 +1,132 @@
+"""Rung-0 evaluation: closed-form lower bounds, zero allocator solves.
+
+The analytical tier answers "how good could this candidate possibly be,
+and can it run at all?" without touching the segmentation DP or either
+allocation engine.  It flattens the graph exactly the way the compile
+pipeline does (profiling, oversized-operator partitioning — both
+deterministic and allocator-free), asks the shared
+:class:`~repro.core.feasibility.FeasibilityModel` whether every unit
+fits, and scores the candidate with the
+:mod:`repro.cost.analytical` bounds.
+
+Guarantees (ratcheted by the calibration suite in
+``tests/test_eval.py``):
+
+* **feasibility is exact** — the tier reports feasible exactly when the
+  full compiler would produce a program (the unit-fit predicate is
+  necessary and sufficient; see :mod:`repro.core.feasibility`);
+* **metrics are true lower bounds** — the reported latency and energy
+  never exceed the compiled plan's;
+* **zero allocator solves** — neither MILP nor greedy allocation runs,
+  so a whole design space can be scored in milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compiler import CompilerOptions
+from ..core.feasibility import FeasibilityModel
+from ..core.segmentation import FlattenedUnit, flatten_graph
+from ..cost.analytical import analytical_graph_estimate
+from ..cost.energy import EnergyParameters
+from ..service import CompileJob
+from .base import Evaluation, Evaluator
+
+__all__ = ["AnalyticalEvaluator"]
+
+
+class AnalyticalEvaluator(Evaluator):
+    """Scores candidates with allocator-free closed-form lower bounds.
+
+    Stateless with respect to caches and services — it needs neither.
+    Flattened units are memoised per (graph, hardware fingerprint), so
+    sweeping many hardware variants of one model re-flattens only when
+    the chip's partitioning budget actually changes the units.
+
+    Args:
+        energy_parameters: Energy coefficients for the bound (defaults
+            scaled to each candidate's hardware, matching
+            :func:`repro.cost.energy.estimate_energy`).
+    """
+
+    fidelity = "analytical"
+
+    #: Bound of the per-evaluator flattening memo (see :meth:`_units`).
+    MEMO_ENTRIES = 64
+
+    def __init__(self, energy_parameters: Optional[EnergyParameters] = None) -> None:
+        self.energy_parameters = energy_parameters
+        # id(graph) alone is not a safe key — a garbage-collected graph's
+        # address can be reused by a different model's graph.  Each entry
+        # therefore pins the graph it was built from (keeping its id
+        # allocated) and is verified by identity on lookup; the memo is
+        # LRU-bounded so pinned graphs cannot accumulate without limit.
+        self._units_memo: "OrderedDict[Tuple[int, str], Tuple[object, List[FlattenedUnit]]]" = (
+            OrderedDict()
+        )
+
+    def _units(self, graph, hardware) -> List[FlattenedUnit]:
+        key = (id(graph), hardware.fingerprint())
+        entry = self._units_memo.get(key)
+        if entry is not None and entry[0] is graph:
+            self._units_memo.move_to_end(key)
+            return entry[1]
+        units = flatten_graph(graph, hardware)
+        self._units_memo[key] = (graph, units)
+        self._units_memo.move_to_end(key)
+        while len(self._units_memo) > self.MEMO_ENTRIES:
+            self._units_memo.popitem(last=False)
+        return units
+
+    def evaluate(self, job: CompileJob) -> Evaluation:
+        """Score one candidate; failures are captured in the result."""
+        start = time.perf_counter()
+        try:
+            graph = job.resolve_graph()
+            hardware = job.resolve_hardware()
+            options = job.options or CompilerOptions(generate_code=False)
+            units = self._units(graph, hardware)
+            profiles = {unit.name: unit.profile for unit in units}
+            feasibility = FeasibilityModel(hardware)
+            unfit = feasibility.first_unfit(profiles)
+            estimate = analytical_graph_estimate(
+                list(profiles.values()),
+                hardware,
+                allow_memory_mode=options.allow_memory_mode,
+                block_repeat=float(graph.metadata.get("block_repeat", 1.0)),
+                parameters=self.energy_parameters,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            return Evaluation(
+                fidelity=self.fidelity,
+                error=f"{type(exc).__name__}: {exc}",
+                failed=True,
+                lower_bound=True,
+                eval_seconds=time.perf_counter() - start,
+            )
+        if unfit is not None:
+            return Evaluation(
+                fidelity=self.fidelity,
+                feasible=False,
+                lower_bound=True,
+                peak_arrays=estimate.min_peak_arrays,
+                error=(
+                    f"unit {unfit!r} needs more than the chip's "
+                    f"{hardware.num_arrays} arrays"
+                ),
+                eval_seconds=time.perf_counter() - start,
+            )
+        return Evaluation(
+            fidelity=self.fidelity,
+            feasible=True,
+            latency_ms=hardware.cycles_to_ms(estimate.end_to_end_cycles),
+            cycles=estimate.end_to_end_cycles,
+            energy_mj=estimate.end_to_end_mj,
+            num_segments=0,
+            peak_arrays=estimate.min_peak_arrays,
+            lower_bound=True,
+            eval_seconds=time.perf_counter() - start,
+        )

@@ -692,12 +692,33 @@ class TestCacheCli:
         out = capsys.readouterr().out
         assert "entries" in out and "oldest entry" in out
 
-    def test_stats_does_not_create_missing_directory(self, tmp_path, capsys):
+    def test_stats_on_missing_directory_reports_empty_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        # A cache dir that was never created holds nothing: `stats` is a
+        # read-only query and must answer "empty" (exit 0) without
+        # creating the directory — scripts can poll a cache dir before
+        # its first run without special-casing an error.
         from repro.cli import main
 
         missing = tmp_path / "typo-path"
-        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out and "0.00 MB" in out
+        assert not missing.exists()
+
+    def test_prune_and_clear_still_reject_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "typo-path"
+        assert (
+            main(
+                ["cache", "prune", "--cache-dir", str(missing), "--max-bytes", "1MB"]
+            )
+            == 2
+        )
         assert "does not exist" in capsys.readouterr().err
+        assert main(["cache", "clear", "--cache-dir", str(missing)]) == 2
         assert not missing.exists()
 
     def test_cache_cli_rejects_regular_file_path(self, tmp_path, capsys):
@@ -759,3 +780,481 @@ class TestCacheCli:
         assert main(["cache", "prune", "--cache-dir", str(cache_dir), "--max-bytes", "0"]) == 0
         assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
         assert (foreign / "space.json").exists()
+
+
+# ---------------------------------------------------------------------- #
+# Multi-fidelity evaluation (repro.eval threading)
+# ---------------------------------------------------------------------- #
+class TestFidelity:
+    def test_analytical_run_performs_zero_solves(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        result = DSERunner(space, fidelity="analytical").run()
+        assert result.allocator_solves == 0
+        assert result.evaluated_by_fidelity == {"analytical": space.size}
+        assert all(r.fidelity == "analytical" for r in result.new_records)
+        assert all(r.lower_bound for r in result.new_records)
+        assert all(r.feasible for r in result.new_records)
+
+    def test_analytical_metrics_lower_bound_compiled_metrics(self):
+        space = tiny_space(arrays=(4, 8), modes=(True, False))
+        bounds = {
+            r.point_key: r for r in DSERunner(space, fidelity="analytical").run().records
+        }
+        exact = {
+            r.point_key: r for r in DSERunner(space, fidelity="compile").run().records
+        }
+        assert set(bounds) == set(exact)
+        for key, bound in bounds.items():
+            record = exact[key]
+            assert bound.feasible == record.feasible
+            if record.feasible:
+                assert bound.latency_ms <= record.latency_ms * (1 + 1e-9)
+                assert bound.energy_mj <= record.energy_mj * (1 + 1e-9)
+
+    def test_auto_promotes_survivors_to_compile_fidelity(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        strategy = SuccessiveHalvingStrategy(seed=0, keep_fraction=0.5)
+        result = DSERunner(space, strategy=strategy, fidelity="auto").run()
+        assert result.evaluated_by_fidelity["analytical"] == space.size
+        promoted = result.evaluated_by_fidelity["compile"]
+        assert promoted == math.ceil(space.size * 0.5)
+        # Rung 0 is free: every solve belongs to a promoted compile.
+        rung0 = [r for r in result.new_records if r.fidelity == "analytical"]
+        assert sum(r.allocator_solves for r in rung0) == 0
+        # Final records carry one entry per point, promoted ones compiled.
+        by_key = {r.point_key: r for r in result.records}
+        assert len(by_key) == space.size
+        assert sum(1 for r in by_key.values() if r.fidelity == "compile") == promoted
+
+    def test_auto_installs_successive_halving_for_plain_strategies(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        runner = DSERunner(tiny_space(), strategy="grid", fidelity="auto")
+        assert isinstance(runner.strategy, SuccessiveHalvingStrategy)
+
+    def test_auto_resume_skips_both_rungs(self, tmp_path):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "successive-halving"
+        ) as state:
+            first = DSERunner(space, fidelity="auto", state=state).run()
+        assert first.evaluated > 0
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency",
+            "successive-halving", resume=True,
+        ) as state:
+            second = DSERunner(space, fidelity="auto", state=state).run()
+        # Rung 0 is answered by the stored records (compile satisfies
+        # analytical, analytical satisfies analytical); the promotion rung
+        # re-promotes the same survivors, which are stored at compile
+        # fidelity — so nothing is evaluated and nothing is solved.
+        assert second.evaluated == 0
+        assert second.allocator_solves == 0
+
+    def test_compile_record_satisfies_analytical_request_on_resume(self, tmp_path):
+        space = tiny_space(arrays=(4, 8))
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, fidelity="compile", state=state).run()
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            result = DSERunner(space, fidelity="analytical", state=state).run()
+        assert result.evaluated == 0
+        assert result.skipped == space.size
+
+    def test_analytical_record_does_not_satisfy_compile_request(self, tmp_path):
+        space = tiny_space(arrays=(4, 8))
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, fidelity="analytical", state=state).run()
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            result = DSERunner(space, fidelity="compile", state=state).run()
+        assert result.evaluated == space.size
+        assert result.skipped == 0
+        assert all(r.fidelity == "compile" for r in result.new_records)
+
+    def test_cached_fidelity_declines_cold_and_answers_warm(self, tmp_path):
+        space = tiny_space(arrays=(4, 8))
+        cache_dir = tmp_path / "cache"
+        cold = DSERunner(space, fidelity="cached", cache_dir=cache_dir).run()
+        assert cold.allocator_solves == 0
+        assert cold.evaluated_by_fidelity == {"cold": space.size}
+        assert all(r.status == "cold" for r in cold.new_records)
+
+        # Warm the store with a real compile pass, then re-probe.
+        DSERunner(space, fidelity="compile", cache_dir=cache_dir).run()
+        warm = DSERunner(space, fidelity="cached", cache_dir=cache_dir).run()
+        assert warm.evaluated_by_fidelity == {"cached": space.size}
+        assert warm.allocator_solves == 0
+        assert all(r.feasible for r in warm.new_records)
+
+    def test_cold_records_are_not_persisted(self, tmp_path):
+        space = tiny_space(arrays=(4, 8))
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(
+                space, fidelity="cached", cache_dir=tmp_path / "cache", state=state
+            ).run()
+        assert len(state.completed) == 0
+
+    def test_record_fidelity_round_trips_and_defaults_to_compile(self):
+        record = EvaluationRecord(
+            point_key="k", model="m", workload="w", hardware="h", num_arrays=4,
+            hardware_fingerprint="f", coords=(0,), allow_memory_mode=True,
+            objective="latency", fidelity="analytical", lower_bound=True,
+        )
+        payload = record.to_dict()
+        assert payload["fidelity"] == "analytical"
+        assert payload["lower_bound"] is True
+        assert EvaluationRecord.from_dict(payload).fidelity == "analytical"
+        # Legacy payloads (pre-fidelity) deserialise as full compiles.
+        del payload["fidelity"], payload["lower_bound"]
+        legacy = EvaluationRecord.from_dict(payload)
+        assert legacy.fidelity == "compile"
+        assert legacy.lower_bound is False
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            DSERunner(tiny_space(), fidelity="psychic")
+
+    def test_mixed_fidelity_frontier_uses_full_fidelity_records_only(self):
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        result = DSERunner(space, fidelity="auto").run()
+        frontier = result.frontier()
+        assert frontier, "auto run must produce a frontier"
+        assert all(r.fidelity in ("compile", "cached") for r in frontier)
+
+
+class TestSuccessiveHalvingStrategy:
+    def test_rung0_covers_the_space_then_promotes_best(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        strategy = SuccessiveHalvingStrategy(seed=3, keep_fraction=0.25)
+        strategy.bind(space)
+        rung0 = []
+        while True:
+            batch = strategy.ask(5)
+            if strategy.fidelity != "analytical" or not batch:
+                promotions = batch
+                break
+            rung0.extend(batch)
+            records = [
+                EvaluationRecord(
+                    point_key=p.key, model=p.model_name, workload="w", hardware="h",
+                    num_arrays=p.hardware.num_arrays, hardware_fingerprint="f",
+                    coords=p.coords, allow_memory_mode=True, objective="latency",
+                    fidelity="analytical", feasible=True,
+                    objective_value=float(sum(p.coords)),
+                )
+                for p in batch
+            ]
+            strategy.tell(records)
+        assert sorted(p.coords for p in rung0) == sorted(space.coordinates())
+        assert strategy.fidelity == "compile"
+        keep = math.ceil(space.size * 0.25)
+        collected = list(promotions)
+        while not strategy.exhausted:
+            more = strategy.ask(5)
+            if not more:
+                break
+            collected.extend(more)
+        assert len(collected) == keep
+        # The best rung-0 scores (lowest coord sums) were promoted.
+        scores = sorted(sum(c) for c in space.coordinates())[:keep]
+        assert sorted(sum(p.coords) for p in collected) == scores
+        assert strategy.exhausted
+
+    def test_infeasible_rung0_points_are_never_promoted(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        space = tiny_space(arrays=(4, 8))
+        strategy = SuccessiveHalvingStrategy(seed=0, keep_fraction=1.0)
+        strategy.bind(space)
+        batch = strategy.ask(space.size)
+        records = [
+            EvaluationRecord(
+                point_key=p.key, model=p.model_name, workload="w", hardware="h",
+                num_arrays=p.hardware.num_arrays, hardware_fingerprint="f",
+                coords=p.coords, allow_memory_mode=True, objective="latency",
+                fidelity="analytical", feasible=(index == 0),
+                objective_value=1.0 if index == 0 else math.inf,
+            )
+            for index, p in enumerate(batch)
+        ]
+        strategy.tell(records)
+        promotions = strategy.ask(space.size)
+        assert len(promotions) == 1
+        assert promotions[0].key == batch[0].key
+
+    def test_registered_with_make_strategy(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        strategy = make_strategy("successive-halving", seed=5)
+        assert isinstance(strategy, SuccessiveHalvingStrategy)
+        assert strategy.seed == 5
+
+
+class TestGreedyKeyDedup:
+    def test_duplicate_axis_values_are_proposed_once(self):
+        # arrays=(4, 4) aliases two coordinates onto one point key; the
+        # strategy must never propose the same key twice, even when a
+        # survivor's neighbourhood collapses onto the alias at the edge.
+        space = tiny_space(arrays=(4, 4), modes=(True, False))
+        strategy = GreedyStrategy(seed=0)
+        strategy.bind(space)
+        seen = []
+        while not strategy.exhausted:
+            batch = strategy.ask(2)
+            if not batch:
+                break
+            seen.extend(batch)
+            records = [
+                EvaluationRecord(
+                    point_key=p.key, model=p.model_name, workload="w", hardware="h",
+                    num_arrays=p.hardware.num_arrays, hardware_fingerprint="f",
+                    coords=p.coords, allow_memory_mode=True, objective="latency",
+                    feasible=True, objective_value=1.0,
+                )
+                for p in batch
+            ]
+            strategy.tell(records)
+        keys = [p.key for p in seen]
+        assert len(keys) == len(set(keys)), "greedy proposed a point key twice"
+        # Every distinct key of the space was still covered.
+        assert set(keys) == {p.key for p in space.points()}
+
+    def test_told_keys_are_never_reproposed(self):
+        # Records told from a resumed run (never asked this session) must
+        # also suppress proposals of their keys.
+        space = tiny_space(arrays=(4, 8), modes=(True, False))
+        strategy = GreedyStrategy(seed=0)
+        strategy.bind(space)
+        pre_told = list(space.points())[:2]
+        strategy.tell(
+            [
+                EvaluationRecord(
+                    point_key=p.key, model=p.model_name, workload="w", hardware="h",
+                    num_arrays=p.hardware.num_arrays, hardware_fingerprint="f",
+                    coords=p.coords, allow_memory_mode=True, objective="latency",
+                    feasible=True, objective_value=1.0,
+                )
+                for p in pre_told
+            ]
+        )
+        told_keys = {p.key for p in pre_told}
+        proposed = []
+        while not strategy.exhausted:
+            batch = strategy.ask(3)
+            if not batch:
+                break
+            proposed.extend(batch)
+        assert told_keys.isdisjoint({p.key for p in proposed})
+
+    def test_no_budget_burned_on_aliased_points_in_runner(self):
+        space = tiny_space(arrays=(4, 4))
+        result = DSERunner(space, strategy=GreedyStrategy(seed=0)).run()
+        # Two aliased coordinates, one structural reality: exactly one
+        # evaluation, zero replications.
+        assert result.evaluated == 1
+        assert result.replicated == 0
+
+
+class TestParetoTies:
+    def _record(self, key, latency, energy, arrays, feasible=True):
+        return EvaluationRecord(
+            point_key=key, model="m", workload="w", hardware="h",
+            num_arrays=arrays, hardware_fingerprint="f", coords=(0,),
+            allow_memory_mode=True, objective="latency", feasible=feasible,
+            latency_ms=latency, energy_mj=energy, objective_value=latency,
+        )
+
+    def test_equal_latency_points_both_survive(self):
+        a = self._record("a", latency=1.0, energy=2.0, arrays=4)
+        b = self._record("b", latency=1.0, energy=3.0, arrays=2)
+        frontier = pareto_frontier([a, b], axes=("latency_ms", "energy_mj", "num_arrays"))
+        assert {r.point_key for r in frontier} == {"a", "b"}
+
+    def test_fully_tied_points_all_survive(self):
+        records = [
+            self._record(key, latency=5.0, energy=5.0, arrays=8)
+            for key in ("x", "y", "z")
+        ]
+        frontier = pareto_frontier(records)
+        assert {r.point_key for r in frontier} == {"x", "y", "z"}
+
+    def test_tied_frontier_order_is_deterministic(self):
+        records = [
+            self._record(key, latency=5.0, energy=5.0, arrays=8)
+            for key in ("zz", "aa", "mm")
+        ]
+        forward = pareto_frontier(records)
+        backward = pareto_frontier(list(reversed(records)))
+        assert [r.point_key for r in forward] == [r.point_key for r in backward]
+        assert [r.point_key for r in forward] == ["aa", "mm", "zz"]
+
+    def test_csv_order_is_deterministic_for_ties(self, tmp_path):
+        records = [
+            self._record("b", latency=1.0, energy=1.0, arrays=4),
+            self._record("a", latency=1.0, energy=1.0, arrays=4),
+        ]
+        first = write_csv(tmp_path / "one.csv", records).read_text()
+        second = write_csv(tmp_path / "two.csv", records).read_text()
+        assert first == second
+        rows = [line.split(",")[0] for line in first.splitlines()[1:]]
+        assert rows == ["b", "a"]  # input order, both flagged pareto
+        assert all(line.rstrip().endswith(",1") for line in first.splitlines()[1:])
+
+    def test_csv_carries_fidelity_and_lower_bound_columns(self, tmp_path):
+        record = self._record("a", latency=1.0, energy=1.0, arrays=4)
+        record.fidelity = "analytical"
+        record.lower_bound = True
+        text = write_csv(tmp_path / "f.csv", [record]).read_text()
+        header = text.splitlines()[0].split(",")
+        assert "fidelity" in header and "lower_bound" in header
+        row = dict(zip(header, text.splitlines()[1].split(",")))
+        assert row["fidelity"] == "analytical"
+        assert row["lower_bound"] == "True"
+
+
+class TestDseCliFidelity:
+    def test_cli_fidelity_analytical_runs_zero_solves(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "dse", "tiny-cnn", "--strategy", "grid", "--fidelity", "analytical",
+                "--run-dir", str(tmp_path / "run"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total allocator solves: 0" in out
+        assert "fidelity: analytical=" in out
+        assert "[analytical/evaluated/ok]" in out
+
+    def test_cli_fidelity_auto_notes_the_schedule(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "dse", "tiny-cnn", "--strategy", "grid", "--fidelity", "auto",
+                "--run-dir", str(tmp_path / "run"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "successive-halving" in out
+        assert "analytical=" in out and "compile=" in out
+
+    def test_cold_records_do_not_shadow_stored_results(self, tmp_path):
+        # An analytical run's records must survive a cached-fidelity
+        # resume against a cold store: the declined probes carry no
+        # metrics and must not replace the stored bounds in the report.
+        space = tiny_space(arrays=(4, 8))
+        run_dir = tmp_path / "run"
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid"
+        ) as state:
+            DSERunner(space, fidelity="analytical", state=state).run()
+        with RunState.open(
+            run_dir, space.to_spec(), space.fingerprint(), "latency", "grid",
+            resume=True,
+        ) as state:
+            result = DSERunner(
+                space, fidelity="cached", cache_dir=tmp_path / "cold-store",
+                state=state,
+            ).run()
+        by_key = {r.point_key: r for r in result.records}
+        assert len(by_key) == space.size
+        assert all(r.fidelity == "analytical" and r.feasible for r in by_key.values())
+        assert result.frontier(), "stored analytical frontier must survive"
+        # The declines are still visible in this run's log.
+        assert sum(1 for r in result.new_records if r.status == "cold") == space.size
+
+    def test_cached_batch_uses_the_service_pool(self, tmp_path, monkeypatch):
+        # evaluate_batch must route warm candidates through
+        # CompileService.compile_batch (one pooled call), not compile
+        # them one-by-one in the caller.
+        from repro.eval import CachedEvaluator
+        from repro.service import CompileService
+
+        space = tiny_space(arrays=(4, 8))
+        cache_dir = tmp_path / "cache"
+        DSERunner(space, fidelity="compile", cache_dir=cache_dir).run()
+
+        service = CompileService(cache_dir=cache_dir)
+        batches = []
+        original = CompileService.compile_batch
+
+        def spy(self, jobs, *args, **kwargs):
+            batches.append(len(list(jobs)))
+            return original(self, jobs, *args, **kwargs)
+
+        monkeypatch.setattr(CompileService, "compile_batch", spy)
+        from repro.service import CompileJob
+
+        jobs = [
+            CompileJob(
+                p.model, workload=p.workload, hardware=p.hardware, options=p.options
+            )
+            for p in space.points()
+        ]
+        evaluations = CachedEvaluator(service).evaluate_batch(jobs)
+        assert batches == [len(jobs)]
+        assert all(e.feasible and not e.skipped for e in evaluations)
+
+    def test_mixed_report_never_crowns_a_lower_bound(self):
+        # In an auto run a non-promoted point keeps its optimistic
+        # analytical record; the "best" line and the dominance counts
+        # must rank only full-fidelity records.
+        from repro.dse import render_report
+
+        bound = EvaluationRecord(
+            point_key="bound", model="m", workload="w", hardware="h", num_arrays=4,
+            hardware_fingerprint="f", coords=(0,), allow_memory_mode=True,
+            objective="latency", fidelity="analytical", lower_bound=True,
+            feasible=True, latency_ms=1.0, energy_mj=1.0, objective_value=1.0,
+        )
+        real = EvaluationRecord(
+            point_key="real", model="m", workload="w", hardware="h", num_arrays=4,
+            hardware_fingerprint="f", coords=(1,), allow_memory_mode=True,
+            objective="latency", fidelity="compile",
+            feasible=True, latency_ms=5.0, energy_mj=5.0, objective_value=5.0,
+        )
+        report = render_report([bound, real])
+        assert "best (latency): m @ 4 arrays -> 5.000" in report
+        assert "lower-bound screened: 1" in report
+
+    def test_cached_run_probes_each_canonical_job_once(self, tmp_path, monkeypatch):
+        space = tiny_space(arrays=(4, 8), models=("tiny-cnn", "tiny-mlp"))
+        cache_dir = tmp_path / "cache"
+        DSERunner(space, fidelity="compile", cache_dir=cache_dir).run()
+
+        calls = []
+        original = DiskCacheStore.contains
+
+        def counting(self, key):
+            calls.append(key)
+            return original(self, key)
+
+        monkeypatch.setattr(DiskCacheStore, "contains", counting)
+        result = DSERunner(space, fidelity="cached", cache_dir=cache_dir).run()
+        assert result.evaluated_by_fidelity == {"cached": space.size}
+        # One probe per canonical job (the planner's); the evaluator
+        # trusts the warm hint instead of probing again.
+        assert len(calls) == space.size
