@@ -1,0 +1,109 @@
+"""Performance ratchet: fail CI when the cold compile path regresses.
+
+The repository commits a measured baseline, ``BENCH_compile_cold.json``
+(seeded from ``benchmarks/bench_fig18_compile_time.py --quick``), which
+records the cold-pass wall time and allocator-solve count of the
+standard compile-time smoke.  CI re-measures and compares::
+
+    PYTHONPATH=src python benchmarks/bench_fig18_compile_time.py \
+        --quick --json-out BENCH_compile_cold_now.json
+    python scripts/perf_ratchet.py BENCH_compile_cold_now.json
+
+Two independent checks, because they fail for different reasons:
+
+* **Solve count** (exact) — ``allocator_solves_cold`` is deterministic:
+  the same models on the same chip enumerate the same allocation
+  windows.  Any increase means the compiler started solving more
+  sub-problems (a cache-key regression, a lost dedup) and fails the
+  ratchet outright, with no tolerance.
+* **Wall time** (tolerance-gated) — cold ``cold_seconds`` may exceed the
+  baseline by at most ``--tolerance`` (default 20%).  CI machines are
+  noisy, so the tolerance is generous; a vectorisation or solver-path
+  regression shows up far above it.
+
+The warm pass is already asserted elsewhere (hit rate >= 95%, zero warm
+solves); the ratchet only guards the cold path the ISSUE-6 vectorisation
+sped up.  To *advance* the ratchet after a deliberate improvement,
+re-seed the baseline file with the bench command above and commit it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_compile_cold.json"
+
+#: Fields the ratchet needs from both records.
+REQUIRED = ("cold_seconds", "allocator_solves_cold")
+
+
+def load_record(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    missing = [field for field in REQUIRED if field not in record]
+    if missing:
+        raise SystemExit(f"error: {path} is missing fields: {', '.join(missing)}")
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "measurement", type=Path, help="fresh BENCH_*.json record to check"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline record (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional wall-time regression (default: 0.20 = +20%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    baseline = load_record(args.baseline)
+    measured = load_record(args.measurement)
+
+    base_solves = int(baseline["allocator_solves_cold"])
+    now_solves = int(measured["allocator_solves_cold"])
+    base_seconds = float(baseline["cold_seconds"])
+    now_seconds = float(measured["cold_seconds"])
+    budget = base_seconds * (1.0 + args.tolerance)
+
+    print(
+        f"perf ratchet (baseline {args.baseline.name}):\n"
+        f"  solves : {now_solves} measured vs {base_solves} baseline (exact)\n"
+        f"  wall   : {now_seconds:.3f} s measured vs {base_seconds:.3f} s "
+        f"baseline (budget {budget:.3f} s = +{100 * args.tolerance:.0f}%)"
+    )
+
+    failures = []
+    if now_solves > base_solves:
+        failures.append(
+            f"allocator_solves_cold regressed: {now_solves} > {base_solves} "
+            "(solve counts are deterministic; this is a real regression)"
+        )
+    if now_seconds > budget:
+        failures.append(
+            f"cold_seconds regressed: {now_seconds:.3f} s > {budget:.3f} s "
+            f"({base_seconds:.3f} s +{100 * args.tolerance:.0f}%)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: cold compile path within the ratchet")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

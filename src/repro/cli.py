@@ -415,7 +415,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         print(
             "note: --fidelity auto schedules rungs itself; using the "
             "successive-halving strategy (analytical rung 0, survivors "
-            "promoted to compile fidelity)"
+            "climb greedy then compile fidelity)"
         )
     if state.space_changed:
         print(
@@ -474,8 +474,6 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect / prune / clear a persistent allocation-cache directory."""
-    import time as _time
-
     from .core.store import DiskCacheStore
 
     root = Path(args.cache_dir).expanduser()
@@ -501,7 +499,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
         )
         print(line)
         if usage["files"]:
-            now = _time.time()
+            # Ages come off the store's clock, not a second ad-hoc
+            # time source — tests drive the display with a ManualClock.
+            now = store.clock.now()
             print(
                 f"  oldest entry: {(now - usage['oldest_mtime']) / 3600.0:.2f} h, "
                 f"newest entry: {(now - usage['newest_mtime']) / 3600.0:.2f} h"
@@ -660,13 +660,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument(
         "--fidelity",
-        choices=["analytical", "cached", "compile", "auto"],
+        choices=["analytical", "greedy", "cached", "compile", "auto"],
         default="compile",
         help=(
             "evaluation tier: compile (full pipeline), analytical "
-            "(closed-form lower bounds, zero solves), cached (only what "
-            "the store already knows), auto (analytical rung 0, "
-            "survivors promoted to compile fidelity; see docs/dse.md)"
+            "(closed-form lower bounds, zero solves), greedy (full "
+            "pipeline with the heuristic allocator, zero MILP solves), "
+            "cached (only what the store already knows), auto "
+            "(successive-halving ladder analytical -> greedy -> "
+            "compile; see docs/dse.md)"
         ),
     )
     dse.add_argument("--seed", type=int, default=0, help="RNG seed for random/greedy")

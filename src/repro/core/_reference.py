@@ -129,6 +129,162 @@ def reference_compile(
     )
 
 
+# ---------------------------------------------------------------------- #
+# frozen scalar allocator kernels — parity oracles for the vectorised
+# rewrites in repro.core.allocation
+# ---------------------------------------------------------------------- #
+def reference_candidate_allocations(
+    profile,
+    hardware: DualModeHardwareAbstraction,
+    max_arrays: int,
+    allow_memory_mode: bool = True,
+    max_candidates: int = 24,
+):
+    """The pre-vectorisation ``candidate_allocations`` body, frozen.
+
+    A Python double loop over the candidate grid with one scalar Eq. 10
+    call per cell.  The vectorised rewrite must reproduce this output
+    exactly (including sort stability and the 1e-9 Pareto tolerance) on
+    every feasible grid; the two differ deliberately only for the
+    all-infeasible grid, where this body returned a useless
+    infinite-latency candidate (the dead-fallback bug) and the rewrite
+    returns an empty list.
+    """
+    import numpy as np
+
+    from ..cost.latency import INFEASIBLE_LATENCY, operator_latency_cycles
+    from .allocation import AllocationCandidate, OperatorAllocation, _geometric_range
+
+    min_compute = max(1, profile.min_compute_arrays(hardware))
+    if min_compute > max_arrays:
+        return []
+    mem_cap = profile.memory_arrays_for_working_set(hardware) if allow_memory_mode else 0
+    mem_cap = min(mem_cap, max_arrays - min_compute)
+
+    compute_options = _geometric_range(min_compute, max_arrays)
+    memory_options = [0] + _geometric_range(1, mem_cap) if mem_cap > 0 else [0]
+
+    raw = []
+    for compute in compute_options:
+        for memory in memory_options:
+            if compute + memory > max_arrays:
+                continue
+            latency = operator_latency_cycles(
+                profile, OperatorAllocation(compute, memory), hardware
+            )
+            raw.append(AllocationCandidate(compute, memory, latency))
+
+    raw.sort(key=lambda c: (c.total_arrays, c.latency_cycles))
+    pareto = []
+    best_latency = INFEASIBLE_LATENCY
+    for candidate in raw:
+        if candidate.latency_cycles < best_latency - 1e-9:
+            pareto.append(candidate)
+            best_latency = candidate.latency_cycles
+    if not pareto and raw:
+        pareto = [raw[0]]
+    if len(pareto) > max_candidates:
+        indices = np.linspace(0, len(pareto) - 1, max_candidates).round().astype(int)
+        pareto = [pareto[i] for i in sorted(set(indices.tolist()))]
+    return pareto
+
+
+def reference_greedy_allocate(
+    profiles, hardware: DualModeHardwareAbstraction, pipelined: bool = True,
+    allow_memory_mode: bool = True,
+):
+    """The pre-vectorisation ``GreedyAllocator.allocate`` body, frozen.
+
+    Re-scores every operator on every iteration (O(n) per hand-out).
+    The incremental rewrite must produce identical allocations and
+    latency.
+    """
+    from ..cost.latency import OperatorAllocation, operator_latency_cycles, segment_latency_cycles
+    from .allocation import AllocationResult, infeasible_result
+
+    if not profiles:
+        return AllocationResult({}, 0.0, True, "greedy")
+    allocations = {}
+    for name, profile in profiles.items():
+        allocations[name] = OperatorAllocation(
+            compute_arrays=max(1, profile.min_compute_arrays(hardware)), memory_arrays=0
+        )
+    used = sum(a.total_arrays for a in allocations.values())
+    if used > hardware.num_arrays:
+        return infeasible_result()
+
+    def latency_of(name, allocation):
+        return operator_latency_cycles(profiles[name], allocation, hardware)
+
+    remaining = hardware.num_arrays - used
+    while remaining > 0:
+        bottleneck = max(allocations, key=lambda n: latency_of(n, allocations[n]))
+        current = allocations[bottleneck]
+        current_latency = latency_of(bottleneck, current)
+        grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
+        options = [(latency_of(bottleneck, grow_compute), grow_compute)]
+        if allow_memory_mode:
+            grow_memory = OperatorAllocation(current.compute_arrays, current.memory_arrays + 1)
+            options.append((latency_of(bottleneck, grow_memory), grow_memory))
+        best_latency, best_allocation = min(options, key=lambda item: item[0])
+        if best_latency >= current_latency - 1e-9:
+            break
+        allocations[bottleneck] = best_allocation
+        remaining -= 1
+
+    latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+    return AllocationResult(allocations, latency, True, "greedy")
+
+
+def reference_refine_with_spare_arrays(
+    result,
+    profiles,
+    hardware: DualModeHardwareAbstraction,
+    pipelined: bool = True,
+    allow_memory_mode: bool = True,
+    reserve_arrays: int = 0,
+):
+    """The pre-vectorisation ``refine_with_spare_arrays`` body, frozen."""
+    from ..cost.latency import OperatorAllocation, operator_latency_cycles, segment_latency_cycles
+    from .allocation import AllocationResult
+
+    if not result.feasible or not result.allocations:
+        return result
+    allocations = dict(result.allocations)
+    used = sum(a.total_arrays for a in allocations.values())
+    remaining = hardware.num_arrays - used - max(0, reserve_arrays)
+    if remaining <= 0:
+        return result
+
+    def latency_of(name):
+        return operator_latency_cycles(profiles[name], allocations[name], hardware)
+
+    improved = False
+    while remaining > 0:
+        bottleneck = max(allocations, key=latency_of)
+        current = allocations[bottleneck]
+        current_latency = latency_of(bottleneck)
+        grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
+        options = [
+            (operator_latency_cycles(profiles[bottleneck], grow_compute, hardware), grow_compute),
+        ]
+        if allow_memory_mode:
+            grow_memory = OperatorAllocation(current.compute_arrays, current.memory_arrays + 1)
+            options.append(
+                (operator_latency_cycles(profiles[bottleneck], grow_memory, hardware), grow_memory)
+            )
+        best_latency, best_allocation = min(options, key=lambda item: item[0])
+        if best_latency >= current_latency - 1e-9:
+            break
+        allocations[bottleneck] = best_allocation
+        remaining -= 1
+        improved = True
+    if not improved:
+        return result
+    latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
+    return AllocationResult(allocations, latency, True, result.solver)
+
+
 def reference_baseline_compile(baseline, graph: Graph) -> CompiledProgram:
     """The pre-refactor ``BaselineCompiler.compile`` body, frozen.
 

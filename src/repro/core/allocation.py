@@ -35,10 +35,12 @@ from ..cost.latency import (
     INFEASIBLE_LATENCY,
     OperatorAllocation,
     operator_latency_cycles,
+    operator_latency_cycles_batch,
     segment_latency_cycles,
 )
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.transforms import ceil_div
+from ._highs import solve_canonical_milp
 from .feasibility import FeasibilityModel
 
 
@@ -107,10 +109,14 @@ def minimum_compute_arrays(
 def segment_fits(
     profiles: Mapping[str, OperatorProfile],
     hardware: DualModeHardwareAbstraction,
-    allow_memory_mode: bool = True,
 ) -> bool:
-    """Whether the segment's minimum footprint fits the array budget."""
-    del allow_memory_mode  # the minimum footprint uses no memory arrays
+    """Whether the segment's minimum footprint fits the array budget.
+
+    The predicate is mode-independent: the minimum footprint uses no
+    memory arrays, so dual- and fixed-mode compilation agree on it.  (An
+    ``allow_memory_mode`` parameter used to exist here and was silently
+    discarded — it has been removed rather than kept as a decoy knob.)
+    """
     return FeasibilityModel(hardware).segment_fits(profiles)
 
 
@@ -146,9 +152,17 @@ def candidate_allocations(
 
     Compute counts are swept geometrically from the operator's minimum
     footprint up to the budget; memory counts from zero up to the number
-    of arrays that fully buffer the working set.  Dominated candidates
-    (more arrays and no lower latency) are discarded, keeping the MILP
-    small without losing the optimum at the granularity of the sweep.
+    of arrays that fully buffer the working set.  The full (compute,
+    memory) grid is scored in one vectorised Eq. 10 evaluation
+    (:func:`~repro.cost.latency.operator_latency_cycles_batch`), then
+    dominated candidates (more arrays and no lower latency) are
+    discarded, keeping the MILP small without losing the optimum at the
+    granularity of the sweep.
+
+    An operator none of whose candidates can ever finish (every grid
+    point has infinite latency — possible only on degenerate hardware
+    with zero usable bandwidth) yields an empty list, the same verdict
+    as an operator that does not fit the budget.
     """
     min_compute = max(1, profile.min_compute_arrays(hardware))
     if min_compute > max_arrays:
@@ -156,29 +170,33 @@ def candidate_allocations(
     mem_cap = profile.memory_arrays_for_working_set(hardware) if allow_memory_mode else 0
     mem_cap = min(mem_cap, max_arrays - min_compute)
 
-    compute_options = _geometric_range(min_compute, max_arrays)
-    memory_options = [0] + _geometric_range(1, mem_cap) if mem_cap > 0 else [0]
+    compute_options = np.asarray(_geometric_range(min_compute, max_arrays), dtype=np.int64)
+    memory_options = np.asarray(
+        [0] + _geometric_range(1, mem_cap) if mem_cap > 0 else [0], dtype=np.int64
+    )
 
-    raw: List[AllocationCandidate] = []
-    for compute in compute_options:
-        for memory in memory_options:
-            if compute + memory > max_arrays:
-                continue
-            latency = operator_latency_cycles(
-                profile, OperatorAllocation(compute, memory), hardware
-            )
-            raw.append(AllocationCandidate(compute, memory, latency))
+    # The flattened grid enumerates compute-major, memory-minor — the
+    # same order the scalar double loop used, which matters because the
+    # (total, latency) sort below is stable.
+    compute = np.repeat(compute_options, len(memory_options))
+    memory = np.tile(memory_options, len(compute_options))
+    keep = compute + memory <= max_arrays
+    compute, memory = compute[keep], memory[keep]
+    latencies = operator_latency_cycles_batch(profile, compute, memory, hardware)
+    totals = compute + memory
 
-    # Pareto filter on (total arrays, latency).
-    raw.sort(key=lambda c: (c.total_arrays, c.latency_cycles))
+    # Pareto filter on (total arrays, latency).  np.lexsort is stable,
+    # so ties fall back to grid order exactly like the scalar sort did.
+    order = np.lexsort((latencies, totals))
     pareto: List[AllocationCandidate] = []
     best_latency = INFEASIBLE_LATENCY
-    for candidate in raw:
-        if candidate.latency_cycles < best_latency - 1e-9:
-            pareto.append(candidate)
-            best_latency = candidate.latency_cycles
-    if not pareto and raw:
-        pareto = [raw[0]]
+    for index in order:
+        latency = float(latencies[index])
+        if latency < best_latency - 1e-9:
+            pareto.append(
+                AllocationCandidate(int(compute[index]), int(memory[index]), latency)
+            )
+            best_latency = latency
     if len(pareto) > max_candidates:
         # Keep the extremes and thin the middle uniformly.
         indices = np.linspace(0, len(pareto) - 1, max_candidates).round().astype(int)
@@ -221,9 +239,17 @@ class GreedyAllocator:
         hardware: DualModeHardwareAbstraction,
         pipelined: bool = True,
     ) -> AllocationResult:
-        """Allocate the segment; see class docstring for the policy."""
+        """Allocate the segment; see class docstring for the policy.
+
+        The loop tracks every operator's latency incrementally: only the
+        grown operator's entry changes per iteration, so each step costs
+        one ``argmax`` and two scalar Eq. 10 evaluations instead of
+        re-scoring the whole segment (the scalar reference in
+        :mod:`repro.core._reference` did; results are identical).
+        """
         if not profiles:
             return AllocationResult({}, 0.0, True, self.name)
+        names = list(profiles)
         allocations: Dict[str, OperatorAllocation] = {}
         for name, profile in profiles.items():
             allocations[name] = OperatorAllocation(
@@ -236,11 +262,17 @@ class GreedyAllocator:
         def latency_of(name: str, allocation: OperatorAllocation) -> float:
             return operator_latency_cycles(profiles[name], allocation, hardware)
 
+        latencies = np.array(
+            [latency_of(name, allocations[name]) for name in names], dtype=np.float64
+        )
         remaining = hardware.num_arrays - used
         while remaining > 0:
-            bottleneck = max(allocations, key=lambda n: latency_of(n, allocations[n]))
+            # np.argmax keeps the first maximum, matching the scalar
+            # ``max(allocations, key=...)`` insertion-order tie-break.
+            index = int(np.argmax(latencies))
+            bottleneck = names[index]
             current = allocations[bottleneck]
-            current_latency = latency_of(bottleneck, current)
+            current_latency = float(latencies[index])
             grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
             options = [(latency_of(bottleneck, grow_compute), grow_compute)]
             if self.allow_memory_mode:
@@ -250,6 +282,7 @@ class GreedyAllocator:
             if best_latency >= current_latency - 1e-9:
                 break  # the bottleneck cannot be improved further
             allocations[bottleneck] = best_allocation
+            latencies[index] = best_latency
             remaining -= 1
 
         latency = segment_latency_cycles(profiles, allocations, hardware, pipelined=pipelined)
@@ -271,6 +304,9 @@ class MIPAllocator:
 
     name = "milp"
 
+    #: Bound on the per-instance candidate memo (cleared when exceeded).
+    CANDIDATE_MEMO_ENTRIES = 4096
+
     def __init__(
         self,
         allow_memory_mode: bool = True,
@@ -280,6 +316,30 @@ class MIPAllocator:
         self.allow_memory_mode = allow_memory_mode
         self.max_candidates_per_operator = max_candidates_per_operator
         self.time_limit_seconds = time_limit_seconds
+        # One operator appears in every DP window that contains it, and
+        # its candidate set depends only on (profile, chip) — memoise it
+        # per allocator instead of re-enumerating the grid per window.
+        self._candidate_memo: Dict[
+            Tuple[OperatorProfile, str], List[AllocationCandidate]
+        ] = {}
+
+    def _candidates(
+        self, profile: OperatorProfile, hardware: DualModeHardwareAbstraction
+    ) -> List[AllocationCandidate]:
+        key = (profile, hardware.fingerprint())
+        cached = self._candidate_memo.get(key)
+        if cached is None:
+            cached = candidate_allocations(
+                profile,
+                hardware,
+                hardware.num_arrays,
+                allow_memory_mode=self.allow_memory_mode,
+                max_candidates=self.max_candidates_per_operator,
+            )
+            if len(self._candidate_memo) >= self.CANDIDATE_MEMO_ENTRIES:
+                self._candidate_memo.clear()
+            self._candidate_memo[key] = cached
+        return cached
 
     def allocate(
         self,
@@ -293,13 +353,7 @@ class MIPAllocator:
         names = list(profiles)
         candidates: Dict[str, List[AllocationCandidate]] = {}
         for name in names:
-            options = candidate_allocations(
-                profiles[name],
-                hardware,
-                hardware.num_arrays,
-                allow_memory_mode=self.allow_memory_mode,
-                max_candidates=self.max_candidates_per_operator,
-            )
+            options = self._candidates(profiles[name], hardware)
             if not options:
                 return infeasible_result()
             candidates[name] = options
@@ -322,11 +376,6 @@ class MIPAllocator:
         hardware: DualModeHardwareAbstraction,
     ) -> Optional[Dict[str, int]]:
         """Build and solve the MILP; returns chosen candidate index per op."""
-        try:
-            from scipy.optimize import Bounds, LinearConstraint, milp
-        except ImportError:  # pragma: no cover - scipy is a hard dependency
-            return None
-
         offsets: Dict[str, int] = {}
         num_binaries = 0
         for name in names:
@@ -352,49 +401,73 @@ class MIPAllocator:
         objective = np.zeros(num_vars)
         objective[t_index] = 1.0
 
-        constraints = []
-        # Exactly one candidate per operator.
-        for name in names:
-            row = np.zeros(num_vars)
-            for k in range(len(candidates[name])):
-                row[offsets[name] + k] = 1.0
-            constraints.append(LinearConstraint(row, lb=1.0, ub=1.0))
-        # Makespan dominates every selected latency.
-        for name in names:
-            row = np.zeros(num_vars)
-            for k, candidate in enumerate(candidates[name]):
+        # The constraint matrix is assembled directly in the canonical
+        # csc form HiGHS consumes (column-sorted indices, no explicit
+        # zeros) instead of building a dense matrix and converting —
+        # scipy's per-LinearConstraint sparse conversion dominated
+        # cold-compile time.  Row order and values are identical to the
+        # original per-row formulation (selection rows 0..n-1, makespan
+        # rows n..2n-1, budget row 2n), and zero coefficients are
+        # dropped exactly as a dense→csc conversion would drop them, so
+        # HiGHS sees a bit-identical problem and returns the identical
+        # solution.
+        num_ops = len(names)
+        budget_row = 2 * num_ops
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for i, name in enumerate(names):
+            for candidate in candidates[name]:
                 latency = candidate.latency_cycles
-                row[offsets[name] + k] = (
-                    latency / scale if math.isfinite(latency) else 1e6
-                )
-            row[t_index] = -1.0
-            constraints.append(LinearConstraint(row, lb=-np.inf, ub=0.0))
-        # Array budget.
-        row = np.zeros(num_vars)
-        for name in names:
-            for k, candidate in enumerate(candidates[name]):
-                row[offsets[name] + k] = candidate.total_arrays
-        constraints.append(LinearConstraint(row, lb=-np.inf, ub=float(hardware.num_arrays)))
+                coefficient = latency / scale if math.isfinite(latency) else 1e6
+                indices.append(i)
+                data.append(1.0)
+                if coefficient != 0.0:
+                    indices.append(num_ops + i)
+                    data.append(coefficient)
+                total = float(candidate.total_arrays)
+                if total != 0.0:
+                    indices.append(budget_row)
+                    data.append(total)
+                indptr.append(len(indices))
+        # Makespan column: -1 in every makespan row.
+        indices.extend(range(num_ops, budget_row))
+        data.extend([-1.0] * num_ops)
+        indptr.append(len(indices))
 
+        row_lb = np.concatenate(
+            (np.ones(num_ops), np.full(num_ops + 1, -np.inf))
+        )
+        row_ub = np.concatenate(
+            (np.ones(num_ops), np.zeros(num_ops), [float(hardware.num_arrays)])
+        )
         integrality = np.ones(num_vars)
         integrality[t_index] = 0.0
         lower = np.zeros(num_vars)
         upper = np.ones(num_vars)
         upper[t_index] = np.inf
-        bounds = Bounds(lb=lower, ub=upper)
 
-        result = milp(
-            c=objective,
-            constraints=constraints,
-            integrality=integrality,
-            bounds=bounds,
-            options={"time_limit": self.time_limit_seconds, "presolve": True},
+        solution = solve_canonical_milp(
+            objective,
+            lower,
+            upper,
+            integrality,
+            np.asarray(indptr, dtype=np.int32),
+            np.asarray(indices, dtype=np.int32),
+            np.asarray(data, dtype=np.float64),
+            row_lb,
+            row_ub,
+            time_limit=self.time_limit_seconds,
+            presolve=True,
         )
-        if not result.success or result.x is None:
+        if solution is None:
+            return None
+        success, x = solution
+        if not success or x is None:
             return None
         chosen: Dict[str, int] = {}
         for name in names:
-            block = result.x[offsets[name] : offsets[name] + len(candidates[name])]
+            block = x[offsets[name] : offsets[name] + len(candidates[name])]
             chosen[name] = int(np.argmax(block))
         return chosen
 
@@ -431,14 +504,24 @@ def refine_with_spare_arrays(
     if remaining <= 0:
         return result
 
-    def latency_of(name: str) -> float:
-        return operator_latency_cycles(profiles[name], allocations[name], hardware)
-
+    # Incremental bottleneck tracking: only the grown operator's latency
+    # changes per hand-out, so each iteration is one argmax plus two
+    # scalar Eq. 10 calls (the scalar reference re-scored every operator
+    # every iteration; results are identical).
+    names = list(allocations)
+    latencies = np.array(
+        [
+            operator_latency_cycles(profiles[name], allocations[name], hardware)
+            for name in names
+        ],
+        dtype=np.float64,
+    )
     improved = False
     while remaining > 0:
-        bottleneck = max(allocations, key=latency_of)
+        index = int(np.argmax(latencies))
+        bottleneck = names[index]
         current = allocations[bottleneck]
-        current_latency = latency_of(bottleneck)
+        current_latency = float(latencies[index])
         grow_compute = OperatorAllocation(current.compute_arrays + 1, current.memory_arrays)
         options = [
             (operator_latency_cycles(profiles[bottleneck], grow_compute, hardware), grow_compute),
@@ -452,6 +535,7 @@ def refine_with_spare_arrays(
         if best_latency >= current_latency - 1e-9:
             break
         allocations[bottleneck] = best_allocation
+        latencies[index] = best_latency
         remaining -= 1
         improved = True
     if not improved:
@@ -468,6 +552,7 @@ def allocate_segment(
     refine: bool = True,
     reserve_arrays: int = 0,
     cache: Optional[object] = None,
+    memo: Optional[object] = None,
 ) -> AllocationResult:
     """Allocate one segment end to end (solver + duplication refinement).
 
@@ -479,16 +564,22 @@ def allocate_segment(
             When given, the solve is first looked up (structurally — the
             result is identical to a cold solve) and fresh solves are
             stored back; hits are flagged via ``result.from_cache``.
+        memo: Optional per-run :class:`~repro.core.memo.SolveMemo`.
+            Probed *before* the shared cache (it is pure process memory,
+            never disk); both layers are written on a fresh solve, and a
+            shared-cache hit is copied into the memo so later windows of
+            the same run skip the cache tiers entirely.
     """
     engine = allocator if allocator is not None else MIPAllocator()
     if not segment_fits(profiles, hardware):
         return infeasible_result()
     allow_memory_mode = getattr(engine, "allow_memory_mode", True)
     cache_key = None
-    if cache is not None:
+    keyed = memo if memo is not None else cache
+    if keyed is not None:
         # Build the (hardware fingerprint x segment signature x options)
-        # key once and share it between lookup and store.
-        cache_key = cache.make_key(
+        # key once and share it between every lookup and store below.
+        cache_key = keyed.make_key(
             profiles,
             hardware,
             engine=getattr(engine, "name", type(engine).__name__),
@@ -497,8 +588,15 @@ def allocate_segment(
             allow_memory_mode=allow_memory_mode,
             reserve_arrays=reserve_arrays,
         )
+    if memo is not None:
+        memoised = memo.lookup(cache_key, list(profiles))
+        if memoised is not None:
+            return memoised
+    if cache is not None:
         cached = cache.lookup(cache_key, list(profiles))
         if cached is not None:
+            if memo is not None:
+                memo.put(cache_key, profiles, cached)
             return cached
     result = engine.allocate(profiles, hardware, pipelined=pipelined)
     if refine and result.feasible:
@@ -512,4 +610,6 @@ def allocate_segment(
         )
     if cache is not None:
         cache.put(cache_key, profiles, result)
+    if memo is not None:
+        memo.put(cache_key, profiles, result)
     return result

@@ -121,6 +121,11 @@ class CMSwitchCompiler:
             standard pass sequence when omitted.  A fresh context is
             created per compile, so one compiler (and one pipeline) can
             serve many graphs.
+        solve_memo: Optional per-run :class:`~repro.core.memo.SolveMemo`.
+            Unlike the cache it is unbounded, in-memory only and meant to
+            live for one run; pass the same memo to many compilers (a DSE
+            sweep does) so neighbouring compiles reuse each other's
+            allocation solves even without a shared cache.
 
     Example:
         >>> from repro.hardware import dynaplasia
@@ -139,12 +144,14 @@ class CMSwitchCompiler:
         options: Optional[CompilerOptions] = None,
         cache: Optional[AllocationCache] = None,
         pipeline=None,
+        solve_memo=None,
     ) -> None:
         from ..pipeline import build_pipeline
 
         self.hardware = hardware
         self.options = options or CompilerOptions()
         self.cache = cache
+        self.solve_memo = solve_memo
         self.pipeline = pipeline if pipeline is not None else build_pipeline()
 
     def compile(self, graph: Graph) -> CompiledProgram:
@@ -174,6 +181,7 @@ class CMSwitchCompiler:
             hardware=self.hardware,
             options=self.options,
             cache=self.cache,
+            solve_memo=self.solve_memo,
             compiler_name=self.name,
             started=time.perf_counter(),
         )

@@ -1,0 +1,138 @@
+"""Per-run memoisation of segment-allocation solves.
+
+:class:`SolveMemo` is the light sibling of
+:class:`~repro.core.cache.AllocationCache`: an unbounded, thread-safe,
+in-memory map from :class:`~repro.core.cache.AllocationCacheKey` to the
+solve outcome, meant to live for the duration of *one* run — a DSE
+sweep, a compile batch — and then be dropped.
+
+Why a second memo when the shared cache exists:
+
+* the shared cache is optional (a plain ``DSERunner`` without a
+  ``cache_dir`` has none), bounded (LRU eviction can drop a window a
+  neighbouring design point is about to request) and possibly
+  disk-backed (every probe may cost I/O).  The memo is always cheap,
+  never evicts and never touches disk, so neighbouring design points
+  that share allocation windows — the common case along one axis of a
+  sweep, where most windows' boundary context is unchanged — reuse each
+  other's solves even on a cache-less run;
+* its counters are *per run*:
+  :attr:`SolveMemo.hits` / :attr:`SolveMemo.misses` answer "how much
+  solve reuse did this sweep get", which the shared cache's lifetime
+  counters cannot.
+
+The memo deliberately speaks the same duck-typed key API as
+``AllocationCache`` (``make_key`` / ``lookup`` / ``put``), keyed by the
+same structural :class:`AllocationCacheKey`, so
+:func:`~repro.core.allocation.allocate_segment` can probe it without a
+new protocol and a hit is bit-identical to a cold solve by the same
+argument the cache's exactness rests on.  Cross-process sharing is out
+of scope — process-backend workers never see the memo (they share
+through the disk store only).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..hardware.deha import DualModeHardwareAbstraction
+from .allocation import AllocationResult
+from .cache import AllocationCacheKey, CacheEntry
+from ..cost.arithmetic import OperatorProfile
+
+__all__ = ["SolveMemo"]
+
+
+class SolveMemo:
+    """Unbounded per-run memo of allocation solves (thread-safe).
+
+    One instance is created per run (``DSERunner`` makes its own) and
+    threaded through ``SegmentationOptions.solve_memo`` into every
+    segmenter the run spawns; all of them — across design points, the
+    dual-mode pass and the fixed-mode fallback pass — then share solves
+    in process memory.
+
+    Attributes:
+        hits: Lookups served from the memo (cross-mode hits included).
+        misses: Lookups that fell through (to the shared cache or a
+            fresh solve).
+        stores: Entries written.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[AllocationCacheKey, CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def make_key(
+        profiles: Mapping[str, OperatorProfile],
+        hardware: DualModeHardwareAbstraction,
+        **options,
+    ) -> AllocationCacheKey:
+        """Build the structural key for one solve (same as the cache's)."""
+        return AllocationCacheKey.build(profiles, hardware, **options)
+
+    def lookup(
+        self, key: AllocationCacheKey, names: Sequence[str]
+    ) -> Optional[AllocationResult]:
+        """Return the memoised result for ``key``, or None.
+
+        Mirrors the cache's probe order: exact entry first, then — for a
+        fixed-mode key — the dual-mode entry when it allocates no
+        memory-mode arrays (the dual-mode optimum then lies inside the
+        fixed-mode space, so reusing it is exact).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None and not key.allow_memory_mode:
+                dual = self._entries.get(key.dual_mode_variant())
+                if dual is not None and dual.memory_free:
+                    entry = dual
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        return entry.to_result(names)
+
+    def put(
+        self,
+        key: AllocationCacheKey,
+        profiles: Mapping[str, OperatorProfile],
+        result: AllocationResult,
+    ) -> None:
+        """Memoise the outcome of one solve under ``key``."""
+        allocations = tuple(
+            (
+                result.allocations[name].compute_arrays,
+                result.allocations[name].memory_arrays,
+            )
+            for name in profiles
+            if name in result.allocations
+        )
+        if len(allocations) != len(profiles) and result.feasible:
+            return  # partial allocation (foreign result); never memoise it
+        entry = CacheEntry(
+            allocations=allocations if result.feasible else tuple(),
+            latency_cycles=result.latency_cycles,
+            feasible=result.feasible,
+            solver=result.solver,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self.stores += 1
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Plain counters for reports and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._entries),
+        }

@@ -21,7 +21,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..cost.arithmetic import OperatorProfile, profile_operator
+import numpy as np
+
+from ..cost.arithmetic import OperatorProfile, ProfileVectors, profile_operator
 from ..cost.latency import INFEASIBLE_LATENCY, guard_infeasible
 from ..cost.switching import (
     SegmentResources,
@@ -93,6 +95,11 @@ class SegmentationOptions:
     use_milp: bool = True
     refine: bool = True
     single_segment_fallback: bool = True
+    #: Optional per-run :class:`~repro.core.memo.SolveMemo` shared by
+    #: every segmenter of one run (DSE sweep, compile batch).  Runtime
+    #: state, not configuration — excluded from equality and repr so
+    #: option signatures and comparisons stay purely declarative.
+    solve_memo: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         validate_window(self.max_segment_operators)
@@ -325,21 +332,40 @@ def live_elements_at_boundary(units: Sequence[FlattenedUnit], boundary: int) -> 
     return total
 
 
-def first_window_cache_key(
+def live_elements_vector(units: Sequence[FlattenedUnit]) -> np.ndarray:
+    """:func:`live_elements_at_boundary` at every boundary, in one sweep.
+
+    Unit ``idx`` contributes its output elements to every boundary ``b``
+    with ``idx <= b < live_until``, so a difference array plus one
+    cumulative sum yields all ``m`` boundary values in O(m) — the DP
+    used to recompute each from scratch, O(m) per lookup.  Integer
+    arithmetic throughout, so every entry equals the scalar helper
+    exactly.
+    """
+    m = len(units)
+    diff = np.zeros(m + 1, dtype=np.int64)
+    for idx, unit in enumerate(units):
+        if unit.live_until > idx:
+            elements = unit.profile.output_elements
+            diff[idx] += elements
+            diff[unit.live_until] -= elements
+    return np.cumsum(diff)[:m]
+
+
+def window_cache_key(
     units: Sequence[FlattenedUnit],
     hardware: DualModeHardwareAbstraction,
     options,
+    start: int = 0,
+    end: Optional[int] = None,
 ):
-    """Cache key of the first allocation window the DP will request.
+    """Cache key of the allocation window ``units[start..end]`` (inclusive).
 
-    Mirrors :meth:`NetworkSegmenter._allocate` for the window
-    ``units[0:1]`` of the pass ``options`` selects: same engine name,
-    pipelining, refinement, memory-mode flag and boundary reserve.  If
-    this key is present in a persistent store, the run that produced it
-    solved this exact sub-problem before — the strongest cheap signal
-    that the whole candidate is warm.  Shared by the DSE planner's
-    warm-first scheduling and the cached evaluation tier's
-    ``contains`` probe.
+    Mirrors :meth:`NetworkSegmenter._allocate` for that window under the
+    pass ``options`` selects: same engine name, pipelining, refinement,
+    memory-mode flag and boundary reserve (derived from the live data at
+    boundary ``end``, zero for the final boundary).  A persistent store
+    holding this key has solved this exact sub-problem before.
 
     Args:
         units: Flattened schedulable units of the graph.
@@ -348,20 +374,23 @@ def first_window_cache_key(
             ``refine`` / ``allow_memory_mode`` attributes
             (:class:`~repro.core.compiler.CompilerOptions` or
             :class:`SegmentationOptions`).
+        start / end: Inclusive window bounds; ``end`` defaults to
+            ``start`` (a one-operator window).
 
     Returns:
         The :class:`~repro.core.cache.AllocationCacheKey`, or ``None``
-        for an empty unit list (nothing to allocate, nothing to probe).
+        for an empty window (nothing to allocate, nothing to probe).
     """
     from .cache import AllocationCacheKey
 
-    if not units:
+    if end is None:
+        end = start
+    if not units or start < 0 or end >= len(units) or end < start:
         return None
-    first = units[0]
-    profiles = {first.name: first.profile}
+    profiles = {unit.name: unit.profile for unit in units[start : end + 1]}
     reserve = 0
-    if options.allow_memory_mode and len(units) > 1:
-        live = live_elements_at_boundary(units, 0)
+    if options.allow_memory_mode and end + 1 < len(units):
+        live = live_elements_at_boundary(units, end)
         if live > 0:
             capacity = hardware.array_capacity_elements
             need = -(-live // capacity)
@@ -375,6 +404,23 @@ def first_window_cache_key(
         allow_memory_mode=options.allow_memory_mode,
         reserve_arrays=reserve,
     )
+
+
+def first_window_cache_key(
+    units: Sequence[FlattenedUnit],
+    hardware: DualModeHardwareAbstraction,
+    options,
+):
+    """Cache key of the first allocation window the DP will request.
+
+    The ``units[0:1]`` special case of :func:`window_cache_key`.  If
+    this key is present in a persistent store, the run that produced it
+    solved this exact sub-problem before — the strongest cheap signal
+    that the whole candidate is warm.  Shared by the DSE planner's
+    warm-first scheduling and the cached evaluation tier's ``contains``
+    probe.
+    """
+    return window_cache_key(units, hardware, options, start=0, end=0)
 
 
 @dataclass
@@ -467,9 +513,46 @@ class NetworkSegmenter:
         self._feasibility = FeasibilityModel(hardware)
         self._allocation_cache: Dict[Tuple[int, int], AllocationResult] = {}
         self._shared_cache = cache
+        self._solve_memo = getattr(self.options, "solve_memo", None)
+        # Per-unit-list precomputation (one segmenter serves exactly one
+        # unit list, like ``_allocation_cache`` already assumes).
+        self._vectors: Optional[ProfileVectors] = None
+        self._liveness: Optional[np.ndarray] = None
+        self._reserves: Optional[np.ndarray] = None
+        self._profile_windows: Dict[Tuple[int, int], Dict[str, OperatorProfile]] = {}
         self.allocation_calls = 0
         self.cache_hits = 0
         self.disk_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # per-run precomputation
+    # ------------------------------------------------------------------ #
+    def _prepare(self, units: Sequence[FlattenedUnit]) -> None:
+        """Precompute the DP's window aggregates as arrays (idempotent).
+
+        One pass over the units yields everything the DP loop needs per
+        cell in O(1): the struct-of-arrays profile view (static-weight
+        and compute-floor prefix sums), the live elements at every
+        boundary, and the boundary buffer reserve each window end
+        implies.  All of it is integer arithmetic identical to the
+        scalar helpers it replaces.
+        """
+        if self._vectors is not None or not units:
+            return
+        self._vectors = ProfileVectors(
+            [unit.profile for unit in units], self.hardware
+        )
+        self._liveness = live_elements_vector(units)
+        m = len(units)
+        if self.options.allow_memory_mode and m > 1:
+            capacity = self.hardware.array_capacity_elements
+            need = -(-self._liveness // capacity)  # ceil div, int64
+            reserves = np.minimum(need, self.hardware.num_arrays // 2)
+            reserves[self._liveness <= 0] = 0
+            reserves[m - 1] = 0  # the final boundary buffers nothing
+        else:
+            reserves = np.zeros(m, dtype=np.int64)
+        self._reserves = reserves
 
     # ------------------------------------------------------------------ #
     # allocation memoisation
@@ -477,23 +560,36 @@ class NetworkSegmenter:
     def _segment_profiles(
         self, units: Sequence[FlattenedUnit], start: int, end: int
     ) -> Dict[str, OperatorProfile]:
-        return {unit.name: unit.profile for unit in units[start : end + 1]}
+        window = self._profile_windows.get((start, end))
+        if window is None:
+            window = {unit.name: unit.profile for unit in units[start : end + 1]}
+            self._profile_windows[(start, end)] = window
+        return window
+
+    def _window_fits(self, units: Sequence[FlattenedUnit], start: int, end: int) -> bool:
+        """O(1) window feasibility from the precomputed floor prefix."""
+        if self._vectors is not None:
+            return (
+                self._vectors.window_minimum_compute_arrays(start, end)
+                <= self.hardware.num_arrays
+            )
+        return self._feasibility.segment_fits(self._segment_profiles(units, start, end))
 
     def _allocate(self, units: Sequence[FlattenedUnit], start: int, end: int) -> AllocationResult:
         key = (start, end)
         if key not in self._allocation_cache:
-            profiles = self._segment_profiles(units, start, end)
-            if not self._feasibility.segment_fits(profiles):
+            if not self._window_fits(units, start, end):
                 result = AllocationResult({}, INFEASIBLE_LATENCY, False, "infeasible")
             else:
                 result = allocate_segment(
-                    profiles,
+                    self._segment_profiles(units, start, end),
                     self.hardware,
                     allocator=self._allocator,
                     pipelined=self.options.pipelined,
                     refine=self.options.refine,
                     reserve_arrays=self._boundary_reserve(units, end),
                     cache=self._shared_cache,
+                    memo=self._solve_memo,
                 )
                 if result.from_cache:
                     self.cache_hits += 1
@@ -525,6 +621,8 @@ class NetworkSegmenter:
         refinement must not consume the arrays that buffering needs.  At
         most half the chip is reserved; fixed-mode baselines reserve none.
         """
+        if self._reserves is not None:
+            return int(self._reserves[end])
         if not self.options.allow_memory_mode or end + 1 >= len(units):
             return 0
         live = live_elements_at_boundary(units, end)
@@ -581,6 +679,7 @@ class NetworkSegmenter:
         """
         m = len(units)
         window = max(1, self.options.max_segment_operators)
+        self._prepare(units)
 
         # DP tables: best cost to schedule units[0..j-1]; predecessor
         # boundary; allocation and resources of the last segment of the
@@ -593,6 +692,7 @@ class NetworkSegmenter:
 
         for j in range(1, m + 1):
             lo = max(0, j - window)
+            live = int(self._liveness[j - 1]) if j < m else 0
             for i in range(lo, j):
                 if best_cost[i] == INFEASIBLE_LATENCY:
                     continue
@@ -600,12 +700,14 @@ class NetworkSegmenter:
                 if not allocation.feasible:
                     continue
                 profiles = self._segment_profiles(units, i, j - 1)
-                live = live_elements_at_boundary(units, j - 1) if j < m else 0
                 resources = aggregate_resources(
                     profiles,
                     allocation.allocations,
                     live_output_elements=live,
                     num_arrays_total=self.hardware.num_arrays,
+                    static_weight_elements=self._vectors.window_static_weight_elements(
+                        i, j - 1
+                    ),
                 )
                 inter = inter_segment_cycles(
                     last_resources[i],
@@ -658,6 +760,7 @@ class NetworkSegmenter:
         plans: List[SegmentPlan] = []
         previous_resources: Optional[SegmentResources] = None
         capacity = self.hardware.array_capacity_elements
+        self._prepare(units)
         for seg_index, (start, end) in enumerate(boundaries):
             allocation = self._allocate(units, start, end)
             if not allocation.feasible:
@@ -668,12 +771,15 @@ class NetworkSegmenter:
                     stats=self._stats_payload(),
                 )
             profiles = self._segment_profiles(units, start, end)
-            live = live_elements_at_boundary(units, end) if end + 1 < len(units) else 0
+            live = int(self._liveness[end]) if end + 1 < len(units) else 0
             resources = aggregate_resources(
                 profiles,
                 allocation.allocations,
                 live_output_elements=live,
                 num_arrays_total=self.hardware.num_arrays,
+                static_weight_elements=self._vectors.window_static_weight_elements(
+                    start, end
+                ),
             )
             breakdown = inter_segment_breakdown(
                 previous_resources,

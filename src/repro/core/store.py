@@ -48,10 +48,11 @@ import os
 import re
 import tempfile
 import threading
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from .clock import SYSTEM_CLOCK, Clock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports store)
     from .cache import AllocationCacheKey, CacheEntry
@@ -174,13 +175,23 @@ class DiskCacheStore:
         max_bytes: Size budget; after a write that pushes the store past
             it, the oldest entry files are evicted until it fits.  Must
             be positive.
+        clock: Time source for age-based maintenance (TTL cutoffs, the
+            CLI's entry-age display).  Defaults to the real system
+            clock; tests inject a :class:`~repro.core.clock.ManualClock`
+            so GC behaviour is deterministic.
     """
 
-    def __init__(self, root: Union[str, Path], max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        clock: Optional[Clock] = None,
+    ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.clock = SYSTEM_CLOCK if clock is None else clock
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = DiskStoreStats()
         self._lock = threading.Lock()
@@ -424,7 +435,8 @@ class DiskCacheStore:
         simply stops counting.
 
         Args:
-            now: Reference time for the TTL (default: ``time.time()``).
+            now: Reference time for the TTL (default: the store's
+                clock — real time unless a test injected one).
 
         Returns:
             ``{"removed_files", "removed_bytes", "remaining_files",
@@ -434,7 +446,7 @@ class DiskCacheStore:
             raise ValueError("max_bytes must be non-negative")
         if max_age_seconds is not None and max_age_seconds < 0:
             raise ValueError("max_age_seconds must be non-negative")
-        now = time.time() if now is None else now
+        now = self.clock.now() if now is None else now
         sized: List[Tuple[float, int, Path]] = []
         for path in self._entry_files():
             try:

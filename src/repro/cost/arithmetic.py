@@ -12,7 +12,9 @@ allocator and the baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.graph import Graph
@@ -153,6 +155,78 @@ def profile_graph(graph: Graph) -> Dict[str, OperatorProfile]:
     for op in graph.cim_operators():
         profiles[op.name] = profile_operator(op, extra.get(op.name, 0))
     return profiles
+
+
+class ProfileVectors:
+    """Struct-of-arrays view of an ordered operator-profile sequence.
+
+    The segmentation DP and the vectorised allocator kernels repeatedly
+    ask for aggregates over contiguous operator windows (static-weight
+    footprints for inter-segment costs, minimum compute floors for
+    feasibility).  This view extracts the per-operator constants into
+    int64 arrays once and answers every window query from prefix sums in
+    O(1), instead of re-walking profile objects per DP cell.
+
+    All aggregates are integer arithmetic, so they equal the scalar
+    object-walking results exactly.
+
+    Args:
+        profiles: Operator profiles in schedule order.
+        hardware: Optional target; when given, per-operator compute
+            floors (``max(1, min_compute_arrays)``) and their prefix sums
+            are precomputed for O(1) window feasibility.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[OperatorProfile],
+        hardware: Optional[DualModeHardwareAbstraction] = None,
+    ) -> None:
+        profiles = list(profiles)
+        self.profiles: Tuple[OperatorProfile, ...] = tuple(profiles)
+        self.names: Tuple[str, ...] = tuple(p.name for p in profiles)
+        as_array = lambda field: np.array(  # noqa: E731 - local shorthand
+            [getattr(p, field) for p in profiles], dtype=np.int64
+        )
+        self.macs = as_array("macs")
+        self.output_elements = as_array("output_elements")
+        self.weight_elements = as_array("weight_elements")
+        self.stationary_elements = as_array("stationary_elements")
+        self.has_static_weight = np.array(
+            [p.has_static_weight for p in profiles], dtype=bool
+        )
+        static_weights = np.where(self.has_static_weight, self.weight_elements, 0)
+        self._static_weight_prefix = np.concatenate(
+            ([0], np.cumsum(static_weights))
+        )
+        self.floors: Optional[np.ndarray] = None
+        self._floor_prefix: Optional[np.ndarray] = None
+        if hardware is not None:
+            capacity = hardware.array_capacity_elements
+            # ceil_div in int64; stationary==0 yields 0, floored to 1.
+            self.floors = np.maximum(
+                1, -(-self.stationary_elements // capacity)
+            )
+            self._floor_prefix = np.concatenate(([0], np.cumsum(self.floors)))
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def window_static_weight_elements(self, start: int, end: int) -> int:
+        """Static weight elements of operators ``start..end`` inclusive."""
+        return int(
+            self._static_weight_prefix[end + 1] - self._static_weight_prefix[start]
+        )
+
+    def window_minimum_compute_arrays(self, start: int, end: int) -> int:
+        """Fewest compute arrays the window ``start..end`` (inclusive) needs.
+
+        Equals ``FeasibilityModel.minimum_compute_arrays`` over the same
+        profiles (requires construction with ``hardware``).
+        """
+        if self._floor_prefix is None:
+            raise ValueError("ProfileVectors built without hardware has no floors")
+        return int(self._floor_prefix[end + 1] - self._floor_prefix[start])
 
 
 def total_macs(profiles: Iterable[OperatorProfile]) -> int:

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..ir.transforms import ceil_div
 from .arithmetic import OperatorProfile
@@ -176,6 +178,109 @@ def operator_latency_cycles(
         return INFEASIBLE_LATENCY
     compute_time = profile.macs / c_rate
     return guard_infeasible(max(compute_time, supply_time))
+
+
+def guard_infeasible_batch(cycles: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`guard_infeasible`: NaN entries become ``inf``."""
+    return np.where(np.isnan(cycles), INFEASIBLE_LATENCY, cycles)
+
+
+def compute_rate_batch(
+    profile: OperatorProfile,
+    compute_arrays: np.ndarray,
+    hardware: DualModeHardwareAbstraction,
+) -> np.ndarray:
+    """Vectorised :func:`compute_rate` over an array of compute counts.
+
+    Bit-identical to the scalar function for every element: the numpy
+    float64 expressions mirror the scalar double expressions term by
+    term, so IEEE-754 rounding is the same (ratcheted by the parity
+    tests in ``tests/test_vectorized.py``).
+    """
+    com = np.asarray(compute_arrays, dtype=np.int64)
+    com_f = com.astype(np.float64)
+    rate = com_f * hardware.op_cim
+    required = profile.min_compute_arrays(hardware)
+    if required > 0:
+        rate = np.where(com < required, rate * (com_f / float(required)), rate)
+    return np.where(com <= 0, 0.0, rate)
+
+
+def data_supply_times_batch(
+    profile: OperatorProfile,
+    memory_arrays: np.ndarray,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`data_supply_times` over an array of memory counts.
+
+    Returns ``(offchip_times, onchip_times)`` with the same zero-element
+    and zero-rate guards as the scalar path (moving nothing is free even
+    over a zero-bandwidth link; moving something over one is ``inf``).
+    """
+    mem = np.asarray(memory_arrays, dtype=np.int64)
+    streamed = profile.streamed_elements
+    if streamed <= 0:
+        zeros = np.zeros(mem.shape, dtype=np.float64)
+        return zeros, zeros.copy()
+    input_side = profile.streamed_input_elements + profile.extra_streamed_elements
+    onchip_capacity = hardware.buffer_elements + mem * hardware.array_capacity_elements
+    offchip_elements = np.maximum(0, input_side - onchip_capacity)
+    onchip_elements = streamed - offchip_elements
+    offchip_rate = hardware.d_extern * d_main_share
+    onchip_rate = hardware.d_main * d_main_share + mem.astype(np.float64) * hardware.d_cim
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if offchip_rate > 0:
+            offchip_time = offchip_elements.astype(np.float64) / offchip_rate
+        else:
+            offchip_time = np.full(mem.shape, INFEASIBLE_LATENCY)
+        offchip_time = np.where(offchip_elements <= 0, 0.0, offchip_time)
+        onchip_time = np.where(
+            onchip_elements <= 0,
+            0.0,
+            np.where(
+                onchip_rate > 0,
+                onchip_elements.astype(np.float64) / onchip_rate,
+                INFEASIBLE_LATENCY,
+            ),
+        )
+    return offchip_time, onchip_time
+
+
+def operator_latency_cycles_batch(
+    profile: OperatorProfile,
+    compute_arrays: np.ndarray,
+    memory_arrays: np.ndarray,
+    hardware: DualModeHardwareAbstraction,
+    d_main_share: float = 1.0,
+) -> np.ndarray:
+    """Vectorised Eq. 10 over a grid of (compute, memory) allocations.
+
+    ``compute_arrays`` and ``memory_arrays`` broadcast against each other
+    (pass a column and a row to evaluate a full candidate grid in one
+    call).  Every element equals the scalar
+    :func:`operator_latency_cycles` for the same pair exactly — the
+    candidate enumeration and the greedy allocator rely on that to keep
+    compiled programs bit-identical to the scalar reference.
+    """
+    com = np.asarray(compute_arrays, dtype=np.int64)
+    mem = np.asarray(memory_arrays, dtype=np.int64)
+    com, mem = np.broadcast_arrays(com, mem)
+    offchip_time, onchip_time = data_supply_times_batch(
+        profile, mem, hardware, d_main_share
+    )
+    supply_time = np.maximum(offchip_time, onchip_time)
+    if profile.macs == 0:
+        return guard_infeasible_batch(supply_time)
+    c_rate = compute_rate_batch(profile, com, hardware)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        compute_time = np.where(
+            c_rate > 0, float(profile.macs) / c_rate, INFEASIBLE_LATENCY
+        )
+    latency = np.where(
+        c_rate <= 0, INFEASIBLE_LATENCY, np.maximum(compute_time, supply_time)
+    )
+    return guard_infeasible_batch(latency)
 
 
 def operator_bound(

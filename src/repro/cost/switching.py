@@ -58,11 +58,22 @@ def aggregate_resources(
     allocations: Mapping[str, OperatorAllocation],
     live_output_elements: int = 0,
     num_arrays_total: Optional[int] = None,
+    static_weight_elements: Optional[int] = None,
 ) -> SegmentResources:
-    """Summarise a segment's allocation for the inter-segment cost model."""
+    """Summarise a segment's allocation for the inter-segment cost model.
+
+    ``static_weight_elements`` optionally carries the window's
+    already-aggregated static weights (the segmentation DP precomputes
+    them as prefix sums); when omitted they are summed from the profiles
+    here — both paths are the same integer sum.
+    """
     compute = sum(allocations[name].compute_arrays for name in profiles)
     memory = sum(allocations[name].memory_arrays for name in profiles)
-    weights = sum(p.weight_elements for p in profiles.values() if p.has_static_weight)
+    weights = (
+        static_weight_elements
+        if static_weight_elements is not None
+        else sum(p.weight_elements for p in profiles.values() if p.has_static_weight)
+    )
     idle = max(0, num_arrays_total - compute - memory) if num_arrays_total is not None else 0
     return SegmentResources(
         compute_arrays=compute,

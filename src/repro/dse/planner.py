@@ -178,9 +178,10 @@ class Planner:
         Structural dedup applies at every fidelity (structurally
         identical candidates score identically at any tier), but the
         disk-store warmth probe only runs for the tiers that would
-        actually touch the solver (``cached`` / ``compile``) — an
-        analytical batch performs no solves, so probing would be pure
-        I/O with nothing to schedule around.
+        actually touch the MILP solver (``cached`` / ``compile``) — an
+        analytical batch performs no solves and a greedy batch solves
+        with the heuristic engine (whose per-window cost does not
+        justify scheduling around), so probing either would be pure I/O.
         """
         jobs_by_key: Dict[str, PlannedJob] = {}
         order: List[str] = []
@@ -198,7 +199,7 @@ class Planner:
             jobs_by_key[key] = PlannedJob(point=point, graph=graph, structural_key=key)
             order.append(key)
         jobs = [jobs_by_key[key] for key in order]
-        probe = fidelity != "analytical"
+        probe = fidelity not in ("analytical", "greedy")
         for job in jobs:
             job.warm = probe and job.graph is not None and self.is_warm(job.point)
         # Stable warm-first ordering (sort is stable, False < True).

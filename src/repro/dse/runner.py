@@ -46,12 +46,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.cache import AllocationCache
+from ..core.memo import SolveMemo
 from ..eval import (
     AnalyticalEvaluator,
     CachedEvaluator,
     CompileEvaluator,
     Evaluation,
     Evaluator,
+    GreedyEvaluator,
     fidelity_rank,
 )
 from ..service import CompileJob, CompileService
@@ -83,7 +85,7 @@ OBJECTIVES = {"latency": "latency_ms", "energy": "energy_mj"}
 #: strategy's multi-fidelity schedule (installing a
 #: :class:`~repro.dse.strategies.SuccessiveHalvingStrategy` when the
 #: given strategy is fidelity-agnostic).
-FIDELITY_MODES = ("analytical", "cached", "compile", "auto")
+FIDELITY_MODES = ("analytical", "greedy", "cached", "compile", "auto")
 
 
 @dataclass
@@ -265,6 +267,8 @@ class DSERunner:
         fidelity: Evaluation tier for every batch —
             ``"compile"`` (default, the full pipeline),
             ``"analytical"`` (closed-form lower bounds, zero solves),
+            ``"greedy"`` (the full pipeline with the heuristic
+            allocator — a real plan, zero MILP solves),
             ``"cached"`` (store-probe + warm compile; cold candidates
             are declined and retried by a later run) or ``"auto"``
             (obey the strategy's multi-fidelity schedule; a
@@ -319,8 +323,17 @@ class DSERunner:
         self.fidelity = fidelity
         self.state = state
         self.batch_size = batch_size
+        # One memo per run: neighbouring design points share most
+        # allocation windows (their boundary context is unchanged along a
+        # sweep axis), so the memo turns a 12-point sweep into far fewer
+        # solves than 12 independent cold compiles — cache or no cache.
+        self.solve_memo = SolveMemo()
         self.service = CompileService(
-            cache=cache, cache_dir=cache_dir, backend=backend, max_workers=max_workers
+            cache=cache,
+            cache_dir=cache_dir,
+            backend=backend,
+            max_workers=max_workers,
+            solve_memo=self.solve_memo,
         )
         store = self.service.cache.store if self.service.cache is not None else None
         self.planner = Planner(store=store)
@@ -332,6 +345,8 @@ class DSERunner:
         if evaluator is None:
             if fidelity == "analytical":
                 evaluator = AnalyticalEvaluator()
+            elif fidelity == "greedy":
+                evaluator = GreedyEvaluator(self.service)
             elif fidelity == "cached":
                 evaluator = CachedEvaluator(self.service)
             elif fidelity == "compile":

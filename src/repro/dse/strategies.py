@@ -24,12 +24,15 @@ Three built-ins cover the common sweep shapes:
   are exhausted).  Converges on a good region of a smooth objective with
   a fraction of the grid budget.
 * ``successive-halving`` — the real multi-fidelity schedule the tiered
-  evaluator layer (:mod:`repro.eval`) enables: rung 0 proposes *every*
-  candidate at ``analytical`` fidelity (closed-form lower bounds, zero
-  allocator solves), then the best ``keep_fraction`` survivors are
-  re-proposed at ``compile`` fidelity.  The strategy announces the
-  fidelity of its current rung via :attr:`Strategy.fidelity`, which a
-  runner in ``--fidelity auto`` mode obeys.
+  evaluator layer (:mod:`repro.eval`) enables: a ladder of rungs
+  (default ``analytical -> greedy -> compile``) where rung 0 proposes
+  *every* candidate at ``analytical`` fidelity (closed-form lower
+  bounds, zero allocator solves), the best ``keep_fraction`` survivors
+  climb to the greedy-allocator rung (real plans, zero MILP solves) and
+  what survives that screen is compiled at full fidelity.  The strategy
+  announces the fidelity of its current rung via
+  :attr:`Strategy.fidelity`, which a runner in ``--fidelity auto`` mode
+  obeys.
 
 All randomness flows from an explicit seed — two runs with the same seed
 propose the same points in the same order, which the resumable run state
@@ -45,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .space import DesignPoint, DesignSpace
 
 __all__ = [
+    "DEFAULT_RUNGS",
     "GreedyStrategy",
     "GridStrategy",
     "RandomStrategy",
@@ -235,102 +239,158 @@ class GreedyStrategy(Strategy):
             self._scores[coords] = min(previous, float(value))
 
 
+#: Default successive-halving ladder: score the whole grid with
+#: closed-form bounds, re-score the survivors with real (heuristic)
+#: greedy plans, then compile only what survives both screens.
+DEFAULT_RUNGS: Tuple[str, ...] = ("analytical", "greedy", "compile")
+
+
 class SuccessiveHalvingStrategy(Strategy):
     """Multi-fidelity successive halving over the tiered evaluator layer.
 
-    Rung 0 proposes every candidate of the space (seeded order) at
-    ``analytical`` fidelity — closed-form lower bounds, zero allocator
-    solves — so the whole grid is scored for the price of none of it.
-    Once every rung-0 answer is told back, the feasible candidates are
-    ranked by objective (a lower bound ranks candidates fairly: it is
-    monotone in the same hardware/option knobs the real cost is) and the
-    best ``keep_fraction`` are re-proposed at ``compile`` fidelity.  The
-    runner reads :attr:`fidelity` after each :meth:`ask` to evaluate the
-    batch at the rung's tier.
+    The schedule is a ladder of *rungs*, each a fidelity of the
+    :mod:`repro.eval` layer.  Rung 0 proposes every candidate of the
+    space (seeded order); once every answer of a rung is told back, its
+    feasible candidates are ranked by objective and the best
+    ``keep_fractions[rung]`` are re-proposed at the next rung's
+    fidelity.  The runner reads :attr:`fidelity` after each :meth:`ask`
+    to evaluate the batch at the rung's tier.
 
-    Records already known at full fidelity (a resumed run) short-circuit
-    naturally: the runner feeds them back as ``resumed`` without paying
-    for re-evaluation, at either rung.
+    The default ladder is ``analytical -> greedy -> compile``:
+
+    * rung 0 scores the whole grid with closed-form lower bounds (zero
+      allocator solves) — a sound screen: an infeasible bound proves
+      the point infeasible, and the bound is monotone in the same
+      hardware/option knobs the real cost is;
+    * rung 1 re-scores the survivors with the greedy-allocator pipeline
+      — real plans, zero MILP solves.  Its ranking is heuristic (a
+      greedy plan can mis-rank two close candidates), which is the
+      accepted trade of the middle rung: it catches the plan-structure
+      effects (segmentation, mode switching) the bounds cannot see;
+    * rung 2 compiles what survives both screens at full fidelity.
+
+    Records already known at sufficient fidelity (a resumed run)
+    short-circuit naturally: the runner feeds them back as ``resumed``
+    without paying for re-evaluation, at any rung.
 
     Args:
         seed: RNG seed for the rung-0 proposal order.
         keep_fraction: Fraction of ranked feasible candidates promoted
-            to compile fidelity (default 0.5; ``1/eta`` in
-            successive-halving terms).
+            at *every* rung boundary (``1/eta`` in successive-halving
+            terms; default 0.5).  Ignored when ``keep_fractions`` is
+            given.
+        rungs: The fidelity ladder, cheapest first (default
+            :data:`DEFAULT_RUNGS`).  Two-rung ``("analytical",
+            "compile")`` recovers the pre-greedy schedule.
+        keep_fractions: Per-boundary keep fractions, one per promotion
+            (``len(rungs) - 1`` values).
     """
 
     name = "successive-halving"
     multi_fidelity = True
 
-    def __init__(self, seed: int = 0, keep_fraction: float = 0.5) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        keep_fraction: float = 0.5,
+        rungs: Optional[Sequence[str]] = None,
+        keep_fractions: Optional[Sequence[float]] = None,
+    ) -> None:
         super().__init__()
-        if not 0.0 < keep_fraction <= 1.0:
-            raise ValueError("keep_fraction must be in (0, 1]")
+        self.rungs: Tuple[str, ...] = tuple(rungs) if rungs is not None else DEFAULT_RUNGS
+        if len(self.rungs) < 2:
+            raise ValueError("the ladder needs at least two rungs")
+        if keep_fractions is None:
+            keep_fractions = (keep_fraction,) * (len(self.rungs) - 1)
+        self.keep_fractions: Tuple[float, ...] = tuple(keep_fractions)
+        if len(self.keep_fractions) != len(self.rungs) - 1:
+            raise ValueError(
+                f"need one keep fraction per promotion "
+                f"({len(self.rungs) - 1}), got {len(self.keep_fractions)}"
+            )
+        for fraction in self.keep_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError("keep fractions must be in (0, 1]")
         self.seed = seed
         self.keep_fraction = keep_fraction
 
     def bind(self, space: DesignSpace) -> None:
         super().bind(space)
-        self._rung0_queue = list(space.coordinates())
-        random.Random(self.seed).shuffle(self._rung0_queue)
-        self._rung0_asked = 0
-        self._rung0_told = 0
-        # coords -> best rung-0 objective (records may repeat on resume).
-        self._rung0_scores: Dict[Tuple[int, ...], float] = {}
-        self._promotions: Optional[List[Tuple[int, ...]]] = None
-        self.fidelity = "analytical"
+        self._rung = 0
+        self._queue = list(space.coordinates())
+        random.Random(self.seed).shuffle(self._queue)
+        self._asked = 0
+        self._told = 0
+        # coords -> best objective told at the current rung (records may
+        # repeat on resume).
+        self._scores: Dict[Tuple[int, ...], float] = {}
+        self.fidelity = self.rungs[0]
+
+    @property
+    def _final_rung(self) -> bool:
+        return self._rung + 1 >= len(self.rungs)
 
     @property
     def exhausted(self) -> bool:
-        if self._rung0_queue:
-            return False
-        if self._promotions is None:
-            # Rung 0 proposed but not fully told yet — the promotion
-            # rung is still to come.
-            return False
-        return not self._promotions
+        # An empty non-final rung still owes its promotion; the final
+        # rung is done once fully proposed (its tells rank nothing).
+        return self._final_rung and not self._queue
 
     def ask(self, n: int) -> List[DesignPoint]:
         batch: List[DesignPoint] = []
-        if self._rung0_queue:
-            self.fidelity = "analytical"
-            while self._rung0_queue and len(batch) < n:
-                coords = self._rung0_queue.pop(0)
-                self._rung0_asked += 1
-                batch.append(self._propose(coords))
-            return batch
-        if self._promotions is None:
-            if self._rung0_told < self._rung0_asked:
-                # Still waiting for rung-0 answers; the runner always
-                # tells between asks, so this only guards misuse.
+        if not self._queue:
+            if self._final_rung:
                 return []
-            ranked = sorted(
-                (
-                    (value, coords)
-                    for coords, value in self._rung0_scores.items()
-                    if math.isfinite(value)
-                ),
-            )
-            keep = math.ceil(len(ranked) * self.keep_fraction) if ranked else 0
-            self._promotions = [coords for _, coords in ranked[:keep]]
-        self.fidelity = "compile"
-        while self._promotions and len(batch) < n:
-            coords = self._promotions.pop(0)
-            batch.append(self.space.point_at(coords))
+            if self._told < self._asked:
+                # Still waiting for this rung's answers; the runner
+                # always tells between asks, so this only guards misuse.
+                return []
+            self._promote()
+        self.fidelity = self.rungs[self._rung]
+        while self._queue and len(batch) < n:
+            coords = self._queue.pop(0)
+            self._asked += 1
+            if self._rung == 0:
+                batch.append(self._propose(coords))
+            else:
+                batch.append(self.space.point_at(coords))
         return batch
 
+    def _promote(self) -> None:
+        """Advance to the next rung with the current rung's survivors."""
+        ranked = sorted(
+            (value, coords)
+            for coords, value in self._scores.items()
+            if math.isfinite(value)
+        )
+        keep = (
+            math.ceil(len(ranked) * self.keep_fractions[self._rung]) if ranked else 0
+        )
+        survivors = [coords for _, coords in ranked[:keep]]
+        self._rung += 1
+        self._queue = survivors
+        self._asked = 0
+        self._told = 0
+        self._scores = {}
+        if not survivors:
+            # Nothing survived: every later rung is vacuous.
+            self._rung = len(self.rungs) - 1
+        self.fidelity = self.rungs[self._rung]
+
     def tell(self, records: Sequence) -> None:
+        if self._final_rung:
+            # The last rung's answers rank nothing further.
+            return
         for record in records:
-            if self._promotions is None:
-                self._rung0_told += 1
-                coords = tuple(getattr(record, "coords", ()))
-                if not coords:
-                    continue
-                value = getattr(record, "objective_value", None)
-                if value is None or not getattr(record, "feasible", False):
-                    value = math.inf
-                previous = self._rung0_scores.get(coords, math.inf)
-                self._rung0_scores[coords] = min(previous, float(value))
+            self._told += 1
+            coords = tuple(getattr(record, "coords", ()))
+            if not coords:
+                continue
+            value = getattr(record, "objective_value", None)
+            if value is None or not getattr(record, "feasible", False):
+                value = math.inf
+            previous = self._scores.get(coords, math.inf)
+            self._scores[coords] = min(previous, float(value))
 
 
 STRATEGIES = {

@@ -9,6 +9,9 @@ the whole compiler":
   :mod:`repro.cost.analytical`, feasibility from the shared
   :class:`~repro.core.feasibility.FeasibilityModel`, **zero** allocator
   solves;
+* :class:`GreedyEvaluator` — the middle rung: the full pipeline with
+  the greedy allocator (``use_milp=False``) — a real plan's metrics,
+  zero MILP solves, heuristic rather than a bound;
 * :class:`CachedEvaluator` — a persistent-store ``contains`` probe
   followed by a warm compile; cold candidates are declined, not solved;
 * :class:`CompileEvaluator` — the full pass pipeline (bit-identical to
@@ -40,6 +43,7 @@ from .base import (
     fidelity_rank,
 )
 from .compiled import CachedEvaluator, CompileEvaluator, evaluation_from_outcome
+from .greedy import GreedyEvaluator
 
 __all__ = [
     "AnalyticalEvaluator",
@@ -49,6 +53,7 @@ __all__ = [
     "Evaluator",
     "FIDELITIES",
     "FIDELITY_RANK",
+    "GreedyEvaluator",
     "evaluation_from_outcome",
     "fidelity_rank",
 ]

@@ -11,6 +11,10 @@ become interchangeable:
 * :class:`~repro.eval.analytical.AnalyticalEvaluator` — closed-form
   lower bounds, zero allocator solves (rung 0 of multi-fidelity
   search);
+* :class:`~repro.eval.greedy.GreedyEvaluator` — the full pipeline with
+  the greedy allocator instead of the MILP: a real plan's metrics (not
+  a bound) at zero MILP solves, the middle rung of multi-fidelity
+  search;
 * :class:`~repro.eval.compiled.CachedEvaluator` — a persistent-store
   ``contains`` probe followed by a warm compile; cold candidates are
   reported as such instead of being solved;
@@ -40,14 +44,15 @@ __all__ = [
     "fidelity_rank",
 ]
 
-#: Fidelity tags, cheapest first.  ``"cached"`` counts as full fidelity
-#: (its metrics come from a real compile) but can only answer for warm
-#: candidates.
-FIDELITIES = ("analytical", "cached", "compile")
+#: Fidelity tags, cheapest first.  ``"greedy"`` runs the full pipeline
+#: with the heuristic allocator (a real plan, zero MILP solves);
+#: ``"cached"`` counts as full fidelity (its metrics come from a real
+#: compile) but can only answer for warm candidates.
+FIDELITIES = ("analytical", "greedy", "cached", "compile")
 
 #: Ordering used to decide whether an existing record satisfies a
 #: requested fidelity (higher rank answers for lower requests).
-FIDELITY_RANK = {"analytical": 0, "cached": 1, "compile": 2}
+FIDELITY_RANK = {"analytical": 0, "greedy": 1, "cached": 2, "compile": 3}
 
 
 def fidelity_rank(fidelity: Optional[str]) -> int:
@@ -65,7 +70,7 @@ class Evaluation:
 
     Attributes:
         fidelity: Which tier produced the answer (``"analytical"`` /
-            ``"cached"`` / ``"compile"``).
+            ``"greedy"`` / ``"cached"`` / ``"compile"``).
         feasible: Whether the candidate can execute on the chip.  At
             analytical fidelity this verdict is exact (the shared
             :class:`~repro.core.feasibility.FeasibilityModel` predicates

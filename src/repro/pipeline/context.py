@@ -76,6 +76,11 @@ class PipelineContext:
     hardware: DualModeHardwareAbstraction
     options: object  # CompilerOptions; untyped here to avoid an import cycle
     cache: Optional[AllocationCache] = None
+    #: Optional per-run :class:`~repro.core.memo.SolveMemo`.  Set by the
+    #: compiler when its owner (a DSE run, a compile batch) wants solve
+    #: reuse across compiles; the segmentation passes thread it into
+    #: their ``SegmentationOptions``.
+    solve_memo: Optional[object] = None
     compiler_name: str = "cmswitch"
 
     # Products of the passes.

@@ -116,9 +116,9 @@ class Segment(Pass):
     def run(self, ctx: PipelineContext) -> None:
         if ctx.units is None:
             raise RuntimeError("Segment requires the PartitionOversized pass first")
-        ctx.segmenter = NetworkSegmenter(
-            ctx.hardware, ctx.options.to_segmentation_options(), cache=ctx.cache
-        )
+        options = ctx.options.to_segmentation_options()
+        options.solve_memo = ctx.solve_memo
+        ctx.segmenter = NetworkSegmenter(ctx.hardware, options, cache=ctx.cache)
         if not ctx.units:
             ctx.result = SegmentationResult([], [], 0.0, 0, 0)
             return
@@ -189,6 +189,7 @@ class FixedModeFallback(Pass):
             raise RuntimeError("FixedModeFallback requires the Allocate pass first")
         fixed_options = ctx.options.to_segmentation_options()
         fixed_options.allow_memory_mode = False
+        fixed_options.solve_memo = ctx.solve_memo
         try:
             fixed_result = NetworkSegmenter(
                 ctx.hardware, fixed_options, cache=ctx.cache

@@ -211,6 +211,12 @@ class CompileService:
         cache_dir: Directory of a persistent
             :class:`~repro.core.store.DiskCacheStore` shared across
             threads, worker processes and future invocations.
+        solve_memo: Optional per-run
+            :class:`~repro.core.memo.SolveMemo` shared by every compile
+            the service performs (thread backend; process workers cannot
+            see it and share through the disk store instead).  A DSE run
+            passes its own memo here so neighbouring design points reuse
+            allocation solves even when the service has no cache.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class CompileService:
         use_cache: bool = True,
         backend: str = "thread",
         cache_dir: Optional[Union[str, Path]] = None,
+        solve_memo=None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -239,6 +246,7 @@ class CompileService:
             self.cache = cache
         else:
             self.cache = None
+        self.solve_memo = solve_memo
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
@@ -251,7 +259,9 @@ class CompileService:
             graph = job.resolve_graph()
             hardware = job.resolve_hardware()
             options = job.options or CompilerOptions(generate_code=False)
-            compiler = CMSwitchCompiler(hardware, options, cache=self.cache)
+            compiler = CMSwitchCompiler(
+                hardware, options, cache=self.cache, solve_memo=self.solve_memo
+            )
             program = compiler.compile(graph)
         except Exception as exc:  # noqa: BLE001 - isolation is the contract
             return CompileJobResult(

@@ -811,22 +811,29 @@ class TestFidelity:
                 assert bound.latency_ms <= record.latency_ms * (1 + 1e-9)
                 assert bound.energy_mj <= record.energy_mj * (1 + 1e-9)
 
-    def test_auto_promotes_survivors_to_compile_fidelity(self):
+    def test_auto_promotes_survivors_up_the_ladder(self):
         from repro.dse import SuccessiveHalvingStrategy
 
         space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
         strategy = SuccessiveHalvingStrategy(seed=0, keep_fraction=0.5)
         result = DSERunner(space, strategy=strategy, fidelity="auto").run()
         assert result.evaluated_by_fidelity["analytical"] == space.size
+        climbed = result.evaluated_by_fidelity["greedy"]
         promoted = result.evaluated_by_fidelity["compile"]
-        assert promoted == math.ceil(space.size * 0.5)
-        # Rung 0 is free: every solve belongs to a promoted compile.
+        assert climbed == math.ceil(space.size * 0.5)
+        assert promoted == math.ceil(climbed * 0.5)
+        # Rung 0 is free: analytical evaluations perform no solves.
         rung0 = [r for r in result.new_records if r.fidelity == "analytical"]
         assert sum(r.allocator_solves for r in rung0) == 0
-        # Final records carry one entry per point, promoted ones compiled.
+        # Final records carry one entry per point, at the highest
+        # fidelity each point was paid for.
         by_key = {r.point_key: r for r in result.records}
         assert len(by_key) == space.size
         assert sum(1 for r in by_key.values() if r.fidelity == "compile") == promoted
+        assert (
+            sum(1 for r in by_key.values() if r.fidelity == "greedy")
+            == climbed - promoted
+        )
 
     def test_auto_installs_successive_halving_for_plain_strategies(self):
         from repro.dse import SuccessiveHalvingStrategy
@@ -834,7 +841,7 @@ class TestFidelity:
         runner = DSERunner(tiny_space(), strategy="grid", fidelity="auto")
         assert isinstance(runner.strategy, SuccessiveHalvingStrategy)
 
-    def test_auto_resume_skips_both_rungs(self, tmp_path):
+    def test_auto_resume_skips_every_rung(self, tmp_path):
         space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
         run_dir = tmp_path / "run"
         with RunState.open(
@@ -847,10 +854,10 @@ class TestFidelity:
             "successive-halving", resume=True,
         ) as state:
             second = DSERunner(space, fidelity="auto", state=state).run()
-        # Rung 0 is answered by the stored records (compile satisfies
-        # analytical, analytical satisfies analytical); the promotion rung
-        # re-promotes the same survivors, which are stored at compile
-        # fidelity — so nothing is evaluated and nothing is solved.
+        # Every rung is answered by the stored records (each point's
+        # stored fidelity is at least the rung it reached last time, and
+        # the seeded ladder re-promotes the same survivors) — so nothing
+        # is evaluated and nothing is solved.
         assert second.evaluated == 0
         assert second.allocator_solves == 0
 
@@ -931,20 +938,26 @@ class TestFidelity:
         with pytest.raises(ValueError, match="unknown fidelity"):
             DSERunner(tiny_space(), fidelity="psychic")
 
-    def test_mixed_fidelity_frontier_uses_full_fidelity_records_only(self):
+    def test_mixed_fidelity_frontier_excludes_lower_bounds(self):
         space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
         result = DSERunner(space, fidelity="auto").run()
         frontier = result.frontier()
         assert frontier, "auto run must produce a frontier"
-        assert all(r.fidelity in ("compile", "cached") for r in frontier)
+        # Greedy records describe real (achievable) plans, so they may
+        # participate; analytical lower bounds never do.
+        assert all(r.fidelity in ("greedy", "compile", "cached") for r in frontier)
+        assert not any(r.lower_bound for r in frontier)
 
 
 class TestSuccessiveHalvingStrategy:
     def test_rung0_covers_the_space_then_promotes_best(self):
+        # Two-rung ladder: the pre-greedy schedule, still supported.
         from repro.dse import SuccessiveHalvingStrategy
 
         space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
-        strategy = SuccessiveHalvingStrategy(seed=3, keep_fraction=0.25)
+        strategy = SuccessiveHalvingStrategy(
+            seed=3, keep_fraction=0.25, rungs=("analytical", "compile")
+        )
         strategy.bind(space)
         rung0 = []
         while True:
@@ -1007,6 +1020,51 @@ class TestSuccessiveHalvingStrategy:
         strategy = make_strategy("successive-halving", seed=5)
         assert isinstance(strategy, SuccessiveHalvingStrategy)
         assert strategy.seed == 5
+
+    def test_default_ladder_walks_analytical_greedy_compile(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        space = tiny_space(arrays=(4, 6, 8), modes=(True, False))
+        strategy = SuccessiveHalvingStrategy(seed=1, keep_fractions=(0.5, 0.5))
+        strategy.bind(space)
+        rung_order = []
+        counts = {}
+        while not strategy.exhausted:
+            batch = strategy.ask(space.size)
+            if not batch:
+                break
+            fidelity = strategy.fidelity
+            if not rung_order or rung_order[-1] != fidelity:
+                rung_order.append(fidelity)
+            counts[fidelity] = counts.get(fidelity, 0) + len(batch)
+            strategy.tell(
+                [
+                    EvaluationRecord(
+                        point_key=p.key, model=p.model_name, workload="w",
+                        hardware="h", num_arrays=p.hardware.num_arrays,
+                        hardware_fingerprint="f", coords=p.coords,
+                        allow_memory_mode=True, objective="latency",
+                        fidelity=fidelity, feasible=True,
+                        objective_value=float(sum(p.coords)),
+                    )
+                    for p in batch
+                ]
+            )
+        assert rung_order == ["analytical", "greedy", "compile"]
+        assert counts["analytical"] == space.size
+        assert counts["greedy"] == math.ceil(space.size * 0.5)
+        assert counts["compile"] == math.ceil(counts["greedy"] * 0.5)
+        assert strategy.exhausted
+
+    def test_ladder_shape_is_validated(self):
+        from repro.dse import SuccessiveHalvingStrategy
+
+        with pytest.raises(ValueError, match="one keep fraction per promotion"):
+            SuccessiveHalvingStrategy(keep_fractions=(0.5,))
+        with pytest.raises(ValueError, match=r"in \(0, 1\]"):
+            SuccessiveHalvingStrategy(keep_fractions=(0.5, 1.5))
+        with pytest.raises(ValueError, match="at least two rungs"):
+            SuccessiveHalvingStrategy(rungs=("compile",))
 
 
 class TestGreedyKeyDedup:

@@ -18,11 +18,13 @@ from pathlib import Path
 import pytest
 
 from repro.core import (
+    SYSTEM_CLOCK,
     AllocationCache,
     CacheEntry,
     CMSwitchCompiler,
     CompilerOptions,
     DiskCacheStore,
+    ManualClock,
 )
 from repro.core.cache import AllocationCacheKey
 from repro.core.store import FORMAT_VERSION, key_digest
@@ -158,6 +160,63 @@ class TestDiskCacheStore:
         store.clear()
         assert len(store) == 0 and store.total_bytes() == 0
         assert store.get(_synthetic_key()) is None
+
+
+class TestClockDrivenGC:
+    """TTL maintenance runs off an injected clock — no real time, no sleeps."""
+
+    EPOCH = 1_700_000_000.0  # arbitrary fixed "now"
+
+    def _store_with_aged_entries(self, root, clock):
+        """Three entries whose mtimes sit 0 h / 2 h / 50 h in the past."""
+        store = DiskCacheStore(root, clock=clock)
+        ages_hours = {0: 0.0, 1: 2.0, 2: 50.0}
+        for reserve, age in ages_hours.items():
+            key = _synthetic_key(reserve_arrays=reserve)
+            store.put(key, _entry())
+            stamp = clock.now() - age * 3600.0
+            os.utime(_entry_file(store, key), (stamp, stamp))
+        return store
+
+    def test_prune_ttl_uses_injected_clock(self, tmp_path):
+        clock = ManualClock(start=self.EPOCH)
+        store = self._store_with_aged_entries(tmp_path, clock)
+        outcome = store.prune(max_age_seconds=24 * 3600)
+        assert outcome["removed_files"] == 1  # only the 50 h entry
+        assert outcome["remaining_files"] == 2
+        assert store.get(_synthetic_key(reserve_arrays=2)) is None
+        assert store.get(_synthetic_key(reserve_arrays=1)) == _entry()
+
+    def test_advancing_the_clock_expires_more(self, tmp_path):
+        clock = ManualClock(start=self.EPOCH)
+        store = self._store_with_aged_entries(tmp_path, clock)
+        assert store.prune(max_age_seconds=3 * 3600)["removed_files"] == 1
+        # One "day" passes — instantly — and the survivors age out too.
+        clock.advance(24 * 3600)
+        assert store.prune(max_age_seconds=3 * 3600)["removed_files"] == 2
+        assert len(store) == 0
+
+    def test_explicit_now_still_overrides_the_clock(self, tmp_path):
+        clock = ManualClock(start=self.EPOCH)
+        store = self._store_with_aged_entries(tmp_path, clock)
+        future = self.EPOCH + 7 * 24 * 3600
+        outcome = store.prune(max_age_seconds=60 * 3600, now=future)
+        assert outcome["removed_files"] == 3
+
+    def test_manual_clock_refuses_to_run_backwards(self):
+        clock = ManualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock.now() == clock.perf() == 5.0
+
+    def test_default_clock_is_real_time(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        assert store.clock is SYSTEM_CLOCK
+        import time as real_time
+
+        before = real_time.time()
+        reading = store.clock.now()
+        assert before - 1.0 <= reading <= real_time.time() + 1.0
 
 
 class TestTwoTierCache:

@@ -1,0 +1,458 @@
+"""Parity and tripwire tests for the vectorised hot path (ISSUE 6).
+
+Three families:
+
+* **Kernel parity** — the vectorised candidate enumeration, batched
+  Eq. 10 latency model and incremental greedy allocator must reproduce
+  the frozen scalar bodies in :mod:`repro.core._reference` exactly
+  (values, ordering, tie-breaks), because compiled-program fingerprints
+  are asserted bit-identical across the rewrite.
+* **Deliberate divergence** — the one behaviour change the rewrite was
+  allowed: an all-infeasible candidate grid now yields ``[]`` instead of
+  the scalar body's useless infinite-latency fallback candidate.
+* **Reuse tripwires** — the greedy fidelity rung must never touch the
+  MILP solver, and a memoised DSE sweep must perform strictly fewer
+  solves than compiling every point independently cold.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.core._reference import (
+    reference_candidate_allocations,
+    reference_compile,
+    reference_greedy_allocate,
+    reference_refine_with_spare_arrays,
+)
+from repro.core.allocation import (
+    GreedyAllocator,
+    MIPAllocator,
+    allocate_segment,
+    candidate_allocations,
+    refine_with_spare_arrays,
+    segment_fits,
+)
+from repro.core.memo import SolveMemo
+from repro.core.segmentation import (
+    first_window_cache_key,
+    flatten_graph,
+    window_cache_key,
+)
+from repro.cost import (
+    OperatorAllocation,
+    operator_latency_cycles,
+    profile_operator,
+)
+from repro.cost.latency import INFEASIBLE_LATENCY, operator_latency_cycles_batch
+from repro.dse import DesignSpace, DSERunner
+from repro.hardware import small_test_chip
+from repro.ir import Linear, MatMul, TensorSpec
+from repro.models import Workload, build_model
+
+
+def linear_profile(name, m=32, k=128, n=128):
+    op = Linear(
+        name,
+        input=TensorSpec(f"{name}_x", (m, k)),
+        output=TensorSpec(f"{name}_y", (m, n)),
+        weight=TensorSpec(f"{name}_w", (k, n)),
+    )
+    return profile_operator(op)
+
+
+def matmul_profile(name, b=4, m=16, k=64, n=64):
+    op = MatMul(
+        name,
+        lhs=TensorSpec(f"{name}_a", (b, m, k)),
+        rhs=TensorSpec(f"{name}_b", (b, k, n)),
+        output=TensorSpec(f"{name}_c", (b, m, n)),
+    )
+    return profile_operator(op)
+
+
+PROFILES = [
+    linear_profile("thin", 8, 64, 64),
+    linear_profile("wide", 32, 256, 256),
+    linear_profile("tall", 128, 512, 32),
+    matmul_profile("attn", 4, 32, 64, 64),
+    matmul_profile("big", 8, 64, 128, 128),
+]
+
+
+# ---------------------------------------------------------------------- #
+# batched Eq. 10
+# ---------------------------------------------------------------------- #
+class TestBatchLatencyParity:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    def test_grid_matches_scalar_exactly(self, profile, small_chip):
+        compute = np.arange(1, small_chip.num_arrays + 1)
+        memory = np.arange(0, small_chip.num_arrays)
+        grid = operator_latency_cycles_batch(
+            profile, compute[:, None], memory[None, :], small_chip
+        )
+        for i, com in enumerate(compute):
+            for j, mem in enumerate(memory):
+                scalar = operator_latency_cycles(
+                    profile, OperatorAllocation(int(com), int(mem)), small_chip
+                )
+                assert grid[i, j] == scalar  # bitwise, not approx
+
+    def test_zero_compute_is_infeasible(self, small_chip):
+        profile = PROFILES[0]
+        grid = operator_latency_cycles_batch(
+            profile, np.array([0]), np.array([0]), small_chip
+        )
+        assert grid[0] == INFEASIBLE_LATENCY
+
+    def test_broadcasting_matches_flat_enumeration(self, small_chip):
+        profile = PROFILES[3]
+        compute = np.array([1, 2, 4])
+        memory = np.array([0, 1])
+        broadcast = operator_latency_cycles_batch(
+            profile, compute[:, None], memory[None, :], small_chip
+        )
+        flat = operator_latency_cycles_batch(
+            profile,
+            np.repeat(compute, len(memory)),
+            np.tile(memory, len(compute)),
+            small_chip,
+        )
+        assert np.array_equal(broadcast.ravel(), flat)
+
+
+# ---------------------------------------------------------------------- #
+# candidate enumeration
+# ---------------------------------------------------------------------- #
+class TestCandidateParity:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("allow_memory_mode", [True, False])
+    def test_matches_scalar_reference(self, profile, allow_memory_mode, small_chip):
+        vectorised = candidate_allocations(
+            profile,
+            small_chip,
+            small_chip.num_arrays,
+            allow_memory_mode=allow_memory_mode,
+        )
+        reference = reference_candidate_allocations(
+            profile,
+            small_chip,
+            small_chip.num_arrays,
+            allow_memory_mode=allow_memory_mode,
+        )
+        assert vectorised == reference
+
+    @pytest.mark.parametrize("max_arrays", [1, 2, 3, 5, 8])
+    def test_matches_scalar_reference_across_budgets(self, max_arrays, small_chip):
+        for profile in PROFILES:
+            assert candidate_allocations(
+                profile, small_chip, max_arrays
+            ) == reference_candidate_allocations(profile, small_chip, max_arrays)
+
+    def test_thinning_matches_scalar_reference(self, small_chip):
+        profile = linear_profile("dense", 64, 512, 512)
+        for cap in (1, 2, 3):
+            vectorised = candidate_allocations(
+                profile, small_chip, small_chip.num_arrays, max_candidates=cap
+            )
+            reference = reference_candidate_allocations(
+                profile, small_chip, small_chip.num_arrays, max_candidates=cap
+            )
+            assert vectorised == reference
+            assert len(vectorised) <= cap
+
+    def test_all_infeasible_grid_returns_empty_not_fallback(
+        self, small_chip, monkeypatch
+    ):
+        """The dead-fallback regression: every grid point infinite => [].
+
+        The scalar body kept one useless infinite-latency candidate in
+        that case; the rewrite's contract is an empty list (the same
+        verdict as "does not fit"), so the MILP never selects a
+        candidate that cannot finish.  Constructible hardware always has
+        positive bandwidth, so the degenerate grid is forced here by
+        stubbing the latency model.
+        """
+        profile = PROFILES[0]
+        all_inf_batch = lambda prof, com, mem, hw, d_main_share=1.0: np.full(
+            np.broadcast(np.asarray(com), np.asarray(mem)).shape, INFEASIBLE_LATENCY
+        )
+        monkeypatch.setattr(
+            "repro.core.allocation.operator_latency_cycles_batch", all_inf_batch
+        )
+        monkeypatch.setattr(
+            "repro.cost.latency.operator_latency_cycles",
+            lambda prof, alloc, hw, d_main_share=1.0: INFEASIBLE_LATENCY,
+        )
+        assert candidate_allocations(profile, small_chip, small_chip.num_arrays) == []
+        # The frozen reference keeps exhibiting the old fallback bug.
+        fallback = reference_candidate_allocations(
+            profile, small_chip, small_chip.num_arrays
+        )
+        assert len(fallback) == 1
+        assert math.isinf(fallback[0].latency_cycles)
+
+    def test_oversized_operator_still_returns_empty(self, small_chip):
+        profile = linear_profile("huge", 4, 64 * 20, 64 * 20)
+        assert candidate_allocations(profile, small_chip, small_chip.num_arrays) == []
+
+
+# ---------------------------------------------------------------------- #
+# greedy allocator + refinement
+# ---------------------------------------------------------------------- #
+class TestGreedyParity:
+    SEGMENTS = [
+        {"proj": linear_profile("proj", 32, 128, 128)},
+        {
+            "proj": linear_profile("proj", 32, 128, 128),
+            "attn": matmul_profile("attn", 4, 32, 64, 64),
+        },
+        {
+            "a": linear_profile("a", 8, 64, 64),
+            "b": linear_profile("b", 16, 128, 64),
+            "c": matmul_profile("c", 2, 16, 32, 32),
+        },
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SEGMENTS)))
+    @pytest.mark.parametrize("allow_memory_mode", [True, False])
+    def test_matches_scalar_reference(self, index, allow_memory_mode, small_chip):
+        profiles = self.SEGMENTS[index]
+        incremental = GreedyAllocator(allow_memory_mode=allow_memory_mode).allocate(
+            profiles, small_chip
+        )
+        reference = reference_greedy_allocate(
+            profiles, small_chip, allow_memory_mode=allow_memory_mode
+        )
+        assert incremental.allocations == reference.allocations
+        assert incremental.latency_cycles == reference.latency_cycles
+        assert incremental.feasible == reference.feasible
+
+    @pytest.mark.parametrize("reserve", [0, 1, 2])
+    def test_refinement_matches_scalar_reference(self, reserve, small_chip):
+        profiles = self.SEGMENTS[1]
+        seed = GreedyAllocator().allocate(profiles, small_chip)
+        refined = refine_with_spare_arrays(
+            seed, profiles, small_chip, reserve_arrays=reserve
+        )
+        reference = reference_refine_with_spare_arrays(
+            seed, profiles, small_chip, reserve_arrays=reserve
+        )
+        assert refined.allocations == reference.allocations
+        assert refined.latency_cycles == reference.latency_cycles
+
+
+# ---------------------------------------------------------------------- #
+# whole-compile parity: fingerprints AND reported solver statistics
+# ---------------------------------------------------------------------- #
+class TestCompileParity:
+    @pytest.mark.parametrize("model", ["tiny-mlp", "tiny-cnn"])
+    def test_pipeline_matches_frozen_reference(self, model, small_chip):
+        graph = build_model(model, Workload(batch_size=1))
+        options = CompilerOptions(generate_code=True)
+        pipeline = CMSwitchCompiler(small_chip, options).compile(graph)
+        frozen = reference_compile(graph, small_chip, options)
+        assert pipeline.fingerprint() == frozen.fingerprint()
+        # The vectorised kernels must not change the *reported* solver
+        # work either — same solve count, same cache counters.
+        for stat in (
+            "allocator_solves",
+            "allocation_cache_hits",
+            "allocation_disk_hits",
+        ):
+            assert pipeline.stats[stat] == frozen.stats[stat], stat
+
+    def test_segment_fits_lost_its_decoy_parameter(self):
+        assert "allow_memory_mode" not in inspect.signature(segment_fits).parameters
+
+
+# ---------------------------------------------------------------------- #
+# window cache keys
+# ---------------------------------------------------------------------- #
+class TestWindowCacheKey:
+    @pytest.fixture()
+    def units(self, small_chip, tiny_cnn_graph):
+        return flatten_graph(tiny_cnn_graph, small_chip)
+
+    def test_first_window_is_the_start_special_case(self, units, small_chip):
+        options = CompilerOptions()
+        assert first_window_cache_key(units, small_chip, options) == window_cache_key(
+            units, small_chip, options, start=0, end=0
+        )
+
+    def test_every_window_key_is_distinct_per_span(self, units, small_chip):
+        options = CompilerOptions()
+        keys = set()
+        for start in range(len(units)):
+            for end in range(start, len(units)):
+                key = window_cache_key(units, small_chip, options, start=start, end=end)
+                assert key is not None
+                keys.add(key)
+        spans = len(units) * (len(units) + 1) // 2
+        assert len(keys) == spans
+
+    def test_final_window_reserves_nothing(self, units, small_chip):
+        options = CompilerOptions()
+        last = len(units) - 1
+        key = window_cache_key(units, small_chip, options, start=0, end=last)
+        assert key.reserve_arrays == 0
+
+    def test_out_of_range_windows_are_none(self, units, small_chip):
+        options = CompilerOptions()
+        assert window_cache_key([], small_chip, options) is None
+        assert window_cache_key(units, small_chip, options, start=-1) is None
+        assert window_cache_key(units, small_chip, options, start=0, end=len(units)) is None
+        assert window_cache_key(units, small_chip, options, start=2, end=1) is None
+
+    def test_key_reflects_the_options(self, units, small_chip):
+        dual = window_cache_key(units, small_chip, CompilerOptions())
+        fixed = window_cache_key(
+            units, small_chip, CompilerOptions(allow_memory_mode=False)
+        )
+        greedy = window_cache_key(units, small_chip, CompilerOptions(use_milp=False))
+        assert dual != fixed
+        assert dual != greedy
+        assert dual.engine == "milp" and greedy.engine == "greedy"
+
+
+# ---------------------------------------------------------------------- #
+# SolveMemo
+# ---------------------------------------------------------------------- #
+class CountingAllocator:
+    """Wraps an allocator and counts real ``allocate`` invocations."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.name = inner.name
+        self.allow_memory_mode = getattr(inner, "allow_memory_mode", True)
+
+    def allocate(self, profiles, hardware, pipelined=True):
+        self.calls += 1
+        return self.inner.allocate(profiles, hardware, pipelined=pipelined)
+
+
+class TestSolveMemo:
+    @pytest.fixture()
+    def profiles(self):
+        return {
+            "proj": linear_profile("proj", 32, 128, 128),
+            "attn": matmul_profile("attn", 4, 32, 64, 64),
+        }
+
+    def test_second_solve_is_served_from_the_memo(self, profiles, small_chip):
+        memo = SolveMemo()
+        engine = CountingAllocator(MIPAllocator())
+        first = allocate_segment(profiles, small_chip, allocator=engine, memo=memo)
+        second = allocate_segment(profiles, small_chip, allocator=engine, memo=memo)
+        assert engine.calls == 1
+        assert memo.hits == 1 and memo.misses == 1 and memo.stores == 1
+        assert second.allocations == first.allocations
+        assert second.latency_cycles == first.latency_cycles
+
+    def test_cross_mode_hit_when_dual_solution_uses_no_memory(
+        self, profiles, small_chip
+    ):
+        memo = SolveMemo()
+        dual = CountingAllocator(MIPAllocator(allow_memory_mode=True))
+        result = allocate_segment(profiles, small_chip, allocator=dual, memo=memo)
+        memory_free = all(
+            a.memory_arrays == 0 for a in result.allocations.values()
+        )
+        fixed = CountingAllocator(MIPAllocator(allow_memory_mode=False))
+        again = allocate_segment(profiles, small_chip, allocator=fixed, memo=memo)
+        if memory_free:
+            # The dual-mode optimum lies inside the fixed-mode space, so
+            # the fixed-mode request is answered without a solve.
+            assert fixed.calls == 0
+            assert again.allocations == result.allocations
+        else:
+            assert fixed.calls == 1
+
+    def test_memo_never_stores_partial_foreign_results(self, profiles, small_chip):
+        from repro.core.allocation import AllocationResult
+
+        memo = SolveMemo()
+        key = SolveMemo.make_key(
+            profiles,
+            small_chip,
+            engine="milp",
+            pipelined=True,
+            refine=True,
+            allow_memory_mode=True,
+            reserve_arrays=0,
+        )
+        partial = AllocationResult(
+            {"proj": OperatorAllocation(1, 0)}, 123.0, True, "milp"
+        )
+        memo.put(key, profiles, partial)
+        assert len(memo) == 0
+        assert memo.lookup(key, list(profiles)) is None
+
+    def test_stats_dict_shape(self):
+        memo = SolveMemo()
+        assert memo.stats_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "entries": 0,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# reuse tripwires
+# ---------------------------------------------------------------------- #
+def _two_point_space() -> DesignSpace:
+    """One model on one chip, dual vs fixed mode: maximal window overlap."""
+    return DesignSpace(
+        models=["tiny-mlp"],
+        base_hardware=small_test_chip(),
+        workloads=[Workload(batch_size=1)],
+        option_axes={"allow_memory_mode": [True, False]},
+    )
+
+
+class TestReuseTripwires:
+    def test_memoised_sweep_beats_independent_cold_compiles(self):
+        space = _two_point_space()
+        independent = 0
+        for point in space.points():
+            graph = build_model(point.model, point.workload)
+            program = CMSwitchCompiler(
+                point.hardware, point.options, cache=None
+            ).compile(graph)
+            independent += program.stats["allocator_solves"]
+        runner = DSERunner(space, strategy="grid")
+        result = runner.run()
+        assert result.evaluated == space.size
+        assert result.allocator_solves < independent  # strictly fewer
+        assert runner.solve_memo.hits > 0
+
+    def test_memo_counters_reflect_per_run_reuse(self):
+        runner = DSERunner(_two_point_space(), strategy="grid")
+        runner.run()
+        stats = runner.solve_memo.stats_dict()
+        # Overwrites of an existing key (a shared-cache hit promoted
+        # into the memo) count as stores, so stores >= distinct entries.
+        assert stats["stores"] >= stats["entries"] > 0
+        assert stats["hits"] > 0
+
+    def test_greedy_rung_performs_zero_milp_solves(self, monkeypatch):
+        def forbidden(*args, **kwargs):  # pragma: no cover - tripwire
+            raise AssertionError("the greedy fidelity rung touched the MILP solver")
+
+        monkeypatch.setattr(
+            "repro.core.allocation.solve_canonical_milp", forbidden
+        )
+        monkeypatch.setattr(MIPAllocator, "allocate", forbidden)
+        result = DSERunner(_two_point_space(), strategy="grid", fidelity="greedy").run()
+        assert result.evaluated == 2
+        for record in result.new_records:
+            assert record.fidelity == "greedy"
+            assert record.status == "evaluated"
+            assert not record.failed
