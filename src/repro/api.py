@@ -14,6 +14,8 @@ on its own.  A :class:`Session` carries that context once:
 * ``session.explore(space)`` — a :mod:`repro.dse` run against the same
   cache, so a sweep warm-starts from every compile the session already
   did;
+* ``session.replay(trace)`` — a request trace through the serving
+  simulator (:mod:`repro.sim.replay`), same cache again;
 * ``session.cache`` / ``session.cache_stats`` — the shared allocation
   cache all of the above feed.
 
@@ -201,6 +203,46 @@ class Session:
         )
 
     # ------------------------------------------------------------------ #
+    # trace replay
+    # ------------------------------------------------------------------ #
+    def replay(
+        self,
+        trace,
+        options: Optional[CompilerOptions] = None,
+        hardware: Optional[Union[str, DualModeHardwareAbstraction]] = None,
+    ):
+        """Replay a request :class:`~repro.sim.traces.Trace` on this session.
+
+        Compiles each distinct (model, workload) of the trace once
+        through the session's :class:`CompileService` — so repeated
+        replays and everything else the session compiles share one
+        allocation cache — and schedules the programs over virtual time
+        with dual-mode re-provisioning charged between requests.  See
+        :class:`~repro.sim.replay.ReplaySimulator`.
+
+        Args:
+            trace: The trace to replay.
+            options: Per-call override of the session's options (code
+                generation is forced off either way — replay only
+                consumes predicted timings).
+            hardware: Per-call override of the session's hardware.
+
+        Returns:
+            The :class:`~repro.sim.replay.ReplayResult`.
+        """
+        from .sim.replay import ReplaySimulator
+
+        target = self.hardware if hardware is None else (
+            get_preset(hardware) if isinstance(hardware, str) else hardware
+        )
+        if options is None and self._options_given:
+            options = self.options
+        simulator = ReplaySimulator(
+            hardware=target, service=self.service, options=options
+        )
+        return simulator.run(trace)
+
+    # ------------------------------------------------------------------ #
     # design-space exploration
     # ------------------------------------------------------------------ #
     def explore(
@@ -214,6 +256,7 @@ class Session:
         batch_size: int = 8,
         seed: int = 0,
         max_workers: Optional[int] = None,
+        trace=None,
     ):
         """Explore a :class:`~repro.dse.DesignSpace` against this cache.
 
@@ -226,7 +269,8 @@ class Session:
             space: The :class:`~repro.dse.DesignSpace` to explore.
             strategy: Strategy instance or name (``grid`` / ``random``
                 / ``greedy`` / ``successive-halving``).
-            objective: ``"latency"`` or ``"energy"``.
+            objective: ``"latency"``, ``"energy"`` or ``"trace_p99"``
+                (requires ``trace``).
             fidelity: Evaluation tier — ``"compile"`` (default, the
                 full pipeline), ``"analytical"`` (closed-form lower
                 bounds, zero allocator solves), ``"greedy"`` (the full
@@ -241,6 +285,8 @@ class Session:
             batch_size: Points asked from the strategy per iteration.
             seed: Seed used when ``strategy`` is given by name.
             max_workers: Compile-pool width override.
+            trace: Request :class:`~repro.sim.traces.Trace` replayed per
+                surviving point when ``objective="trace_p99"``.
 
         Returns:
             The :class:`~repro.dse.DSEResult`.
@@ -260,6 +306,7 @@ class Session:
             state=state,
             batch_size=batch_size,
             seed=seed,
+            trace=trace,
         )
         return runner.run(budget=budget)
 

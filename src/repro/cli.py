@@ -23,6 +23,11 @@ a raw traceback.  Sub-commands:
 * ``dse`` — explore a design space (models x workloads x array counts x
   mode splits) through :mod:`repro.dse`: pluggable search strategies,
   cache-aware planning, resumable run directories, Pareto reports.
+  ``--objective trace-p99 --trace FILE`` optimises tail latency under a
+  request trace instead of single-inference latency.
+* ``replay`` — replay a request trace (file or seeded synthetic
+  traffic) through the serving simulator (:mod:`repro.sim.replay`) and
+  report throughput, p50/p99 latency, utilisation and switch share.
 * ``cache`` — inspect and maintain a persistent allocation-cache
   directory (``stats`` / ``prune`` / ``clear``).
 
@@ -316,6 +321,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif args.figure == "fig18":
         rows = compile_time.measure_compile_time(hardware=hardware, cache=cache)
         print(compile_time.render_report(rows))
+    elif args.figure == "serving":
+        from .experiments import serving
+
+        rows = serving.run_slo_curve(
+            presets=tuple(args.presets),
+            num_requests=args.requests,
+            seed=args.seed,
+            cache=cache,
+        )
+        print(serving.render_report(rows))
     elif args.figure == "sec5.5":
         print(
             overheads.render_switch_report(
@@ -327,6 +342,95 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts the choices
         raise ValueError(f"unknown figure {args.figure!r}")
     return 0
+
+
+def _load_trace_or_none(path: str, usage: str):
+    """Load a trace file, printing the CLI error contract on failure.
+
+    A nonexistent/unreadable path or a malformed/newer-format file
+    prints a two-line error (reason + usage) to stderr and returns
+    ``None`` — callers exit 2, matching the unknown-model convention —
+    never a raw traceback.
+    """
+    from .sim.traces import TraceFormatError, load_trace
+
+    try:
+        return load_trace(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"error: cannot read trace file {path!r}: {reason}\n{usage}", file=sys.stderr)
+        return None
+    except TraceFormatError as exc:
+        print(f"error: invalid trace file: {exc}\n{usage}", file=sys.stderr)
+        return None
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a request trace through the serving simulator."""
+    import json
+
+    from .sim.traces import save_trace, synthetic_trace
+
+    usage = (
+        "usage: repro replay --preset CHIP [--trace FILE | --synthetic "
+        "{poisson,bursty,diurnal}] [--models M ...] [--requests N] "
+        "[--rate RPS] [--seed N]"
+    )
+    if args.trace is not None:
+        trace = _load_trace_or_none(args.trace, usage)
+        if trace is None:
+            return 2
+        failure = _reject_unknown_models(trace.models)
+        if failure is not None:
+            return failure
+    else:
+        models = args.models or ["tiny-mlp", "tiny-cnn"]
+        failure = _reject_unknown_models(models)
+        if failure is not None:
+            return failure
+        # One --rate knob parameterises every generator: it is the mean
+        # (poisson), the quiet-state base (bursty, bursts run 10x) or
+        # the peak (diurnal, trough at a tenth).
+        kwargs = {"poisson": {"rate_rps": args.rate},
+                  "bursty": {"base_rate_rps": args.rate,
+                             "burst_rate_rps": 10.0 * args.rate},
+                  "diurnal": {"peak_rate_rps": args.rate,
+                              "trough_rate_rps": args.rate / 10.0}}[args.synthetic]
+        trace = synthetic_trace(
+            args.synthetic,
+            models,
+            num_requests=args.requests,
+            seed=args.seed,
+            seq_len_buckets=tuple(args.seq_lens),
+            batch_size=args.batch,
+            **kwargs,
+        )
+    if args.save_trace:
+        path = save_trace(trace, args.save_trace)
+        print(f"trace written: {path}")
+
+    session = Session(
+        hardware=args.preset, cache_dir=args.cache_dir, max_workers=args.jobs
+    )
+    result = session.replay(trace)
+    print(result.render_report())
+    metrics = result.metrics
+    # Machine-checkable summary lines (the CI replay-smoke job greps
+    # these, like compile-batch's solver totals).
+    print(f"replay throughput: {metrics.throughput_rps:.6f} req/s")
+    print(f"replay p50: {metrics.latency_p50_ms:.6f} ms")
+    print(f"replay p99: {metrics.latency_p99_ms:.6f} ms")
+    print(f"replay switch share: {metrics.switch_share:.6f}")
+    print(f"total allocator solves: {result.allocator_solves}")
+    print(f"total disk hits: {result.allocation_disk_hits}")
+    if args.json_out:
+        out = Path(args.json_out).expanduser()
+        out.write_text(
+            json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"json report: {out}")
+    return 1 if result.compile_errors else 0
 
 
 def _parse_size(text: str) -> int:
@@ -365,6 +469,35 @@ def cmd_dse(args: argparse.Namespace) -> int:
     failure = _reject_unknown_models(models)
     if failure is not None:
         return failure
+    # The CLI spells the trace objective "trace-p99" (dashes, like every
+    # other flag value); the library spells it "trace_p99".
+    objective = args.objective.replace("-", "_")
+    usage = (
+        "usage: repro dse MODEL [MODEL ...] --objective trace-p99 --trace FILE "
+        "[--fidelity {compile,greedy,cached}]"
+    )
+    trace = None
+    if args.trace is not None:
+        trace = _load_trace_or_none(args.trace, usage)
+        if trace is None:
+            return 2
+        failure = _reject_unknown_models(trace.models)
+        if failure is not None:
+            return failure
+    if objective == "trace_p99":
+        if trace is None:
+            print(
+                f"error: --objective trace-p99 requires --trace FILE\n{usage}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fidelity in ("analytical", "auto"):
+            print(
+                "error: --objective trace-p99 needs real compiled plans; "
+                f"--fidelity {args.fidelity} is not supported\n{usage}",
+                file=sys.stderr,
+            )
+            return 2
     hardware = get_preset(args.hardware)
     arrays = args.arrays
     if arrays is None:
@@ -396,7 +529,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
             run_dir,
             space.to_spec(),
             space.fingerprint(),
-            objective=args.objective,
+            objective=objective,
             strategy=args.strategy,
             resume=args.resume,
         )
@@ -409,8 +542,10 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
     print(
         f"dse: {space.describe()}, strategy {args.strategy}, "
-        f"objective {args.objective}, fidelity {args.fidelity}, run dir {run_dir}"
+        f"objective {objective}, fidelity {args.fidelity}, run dir {run_dir}"
     )
+    if trace is not None:
+        print(f"trace: {trace.describe()}")
     if args.fidelity == "auto" and args.strategy != "successive-halving":
         print(
             "note: --fidelity auto schedules rungs itself; using the "
@@ -435,11 +570,12 @@ def cmd_dse(args: argparse.Namespace) -> int:
         result = session.explore(
             space,
             strategy=make_strategy(args.strategy, seed=args.seed),
-            objective=args.objective,
+            objective=objective,
             fidelity=args.fidelity,
             budget=args.budget,
             state=state,
             seed=args.seed,
+            trace=trace,
         )
 
     # Infeasible design points (feasible=False, failed=False) are a
@@ -600,7 +736,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
     experiment.add_argument(
-        "figure", choices=["fig14", "fig15", "fig16", "fig17", "fig18", "sec5.5"]
+        "figure",
+        choices=["fig14", "fig15", "fig16", "fig17", "fig18", "sec5.5", "serving"],
     )
     experiment.add_argument("--hardware", default="dynaplasia", choices=sorted(PRESETS))
     experiment.add_argument("--batch-sizes", type=int, nargs="+", default=[1])
@@ -609,6 +746,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent allocation-cache directory reused across experiment runs",
+    )
+    experiment.add_argument(
+        "--presets",
+        nargs="+",
+        choices=sorted(PRESETS),
+        default=["dynaplasia", "prime"],
+        help="hardware presets the serving SLO sweep compares",
+    )
+    experiment.add_argument(
+        "--requests",
+        type=int,
+        default=24,
+        help="requests per synthetic trace (serving experiment)",
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=0, help="trace seed (serving experiment)"
     )
     experiment.set_defaults(func=cmd_experiment)
 
@@ -680,9 +833,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument(
         "--objective",
-        choices=["latency", "energy"],
+        choices=["latency", "energy", "trace-p99"],
         default="latency",
-        help="what adaptive strategies minimise and reports highlight",
+        help=(
+            "what adaptive strategies minimise and reports highlight; "
+            "trace-p99 replays --trace per candidate and minimises its "
+            "p99 latency"
+        ),
+    )
+    dse.add_argument(
+        "--trace",
+        default=None,
+        help="request-trace file (JSONL) backing the trace-p99 objective",
     )
     dse.add_argument(
         "--cache-dir",
@@ -707,6 +869,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--jobs", type=int, default=None, help="compile pool width")
     dse.set_defaults(func=cmd_dse)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a request trace through the serving simulator",
+    )
+    replay.add_argument(
+        "--preset",
+        default="dynaplasia",
+        choices=sorted(PRESETS),
+        help="hardware preset the trace is served on",
+    )
+    replay.add_argument(
+        "--trace",
+        default=None,
+        help="trace file (JSONL; see docs/simulator.md for the format)",
+    )
+    replay.add_argument(
+        "--synthetic",
+        choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+        help="synthetic generator used when --trace is not given",
+    )
+    replay.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="traffic mix for synthetic traces (default: tiny-mlp tiny-cnn)",
+    )
+    replay.add_argument(
+        "--requests", type=int, default=32, help="synthetic trace length"
+    )
+    replay.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="arrival rate in req/s (mean / base / peak by generator)",
+    )
+    replay.add_argument("--seed", type=int, default=0, help="trace generator seed")
+    replay.add_argument(
+        "--seq-lens",
+        type=int,
+        nargs="+",
+        default=[32, 64],
+        help="sequence-length buckets of synthetic traffic",
+    )
+    replay.add_argument(
+        "--batch", type=int, default=1, help="batch size of synthetic requests"
+    )
+    replay.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent allocation-cache directory (warm replays solve nothing)",
+    )
+    replay.add_argument("--jobs", type=int, default=None, help="compile pool width")
+    replay.add_argument(
+        "--json-out", default=None, help="write the full JSON report here"
+    )
+    replay.add_argument(
+        "--save-trace", default=None, help="also write the replayed trace here"
+    )
+    replay.set_defaults(func=cmd_replay)
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain a persistent allocation-cache directory"

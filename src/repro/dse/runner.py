@@ -79,7 +79,15 @@ __all__ = [
 ]
 
 #: Supported optimisation objectives (record attribute each minimises).
-OBJECTIVES = {"latency": "latency_ms", "energy": "energy_mj"}
+#: ``trace_p99`` scores a point by replaying a request trace (see
+#: :mod:`repro.sim.replay`) under the point's hardware/options and
+#: taking the p99 latency — tail latency under traffic instead of
+#: single-inference latency.  It requires ``DSERunner(trace=...)``.
+OBJECTIVES = {
+    "latency": "latency_ms",
+    "energy": "energy_mj",
+    "trace_p99": "trace_p99_ms",
+}
 
 #: Valid ``DSERunner(fidelity=...)`` values.  ``"auto"`` defers to the
 #: strategy's multi-fidelity schedule (installing a
@@ -132,6 +140,9 @@ class EvaluationRecord:
     latency_ms: float = math.inf
     cycles: float = math.inf
     energy_mj: float = math.inf
+    #: p99 latency of the runner's trace replayed under this point's
+    #: hardware/options (``inf`` unless the run's objective measured it).
+    trace_p99_ms: float = math.inf
     num_segments: int = 0
     peak_arrays: int = 0
     objective_value: float = math.inf
@@ -149,7 +160,13 @@ class EvaluationRecord:
         by jq/pandas, which reject bare ``Infinity`` tokens)."""
         payload = asdict(self)
         payload["coords"] = list(self.coords)
-        for name in ("latency_ms", "cycles", "energy_mj", "objective_value"):
+        for name in (
+            "latency_ms",
+            "cycles",
+            "energy_mj",
+            "trace_p99_ms",
+            "objective_value",
+        ):
             value = payload[name]
             if value is not None and not math.isfinite(value):
                 payload[name] = None
@@ -161,7 +178,13 @@ class EvaluationRecord:
         known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
         kwargs = {key: value for key, value in payload.items() if key in known}
         kwargs["coords"] = tuple(kwargs.get("coords", ()))
-        for name in ("latency_ms", "cycles", "energy_mj", "objective_value"):
+        for name in (
+            "latency_ms",
+            "cycles",
+            "energy_mj",
+            "trace_p99_ms",
+            "objective_value",
+        ):
             value = kwargs.get(name)
             if value is None:
                 kwargs[name] = math.inf
@@ -262,8 +285,9 @@ class DSERunner:
         space: The candidate grid.
         strategy: Strategy instance or name (``grid`` / ``random`` /
             ``greedy`` / ``successive-halving``).
-        objective: ``"latency"`` or ``"energy"`` — what adaptive
-            strategies minimise and reports highlight.
+        objective: ``"latency"``, ``"energy"`` or ``"trace_p99"`` — what
+            adaptive strategies minimise and reports highlight
+            (``trace_p99`` additionally requires ``trace``).
         fidelity: Evaluation tier for every batch —
             ``"compile"`` (default, the full pipeline),
             ``"analytical"`` (closed-form lower bounds, zero solves),
@@ -284,6 +308,13 @@ class DSERunner:
         state: Resumable run state (None runs fully in memory).
         batch_size: Points asked from the strategy per iteration.
         seed: Seed used when ``strategy`` is given by name.
+        trace: Request :class:`~repro.sim.traces.Trace` backing the
+            ``trace_p99`` objective.  Each feasible point replays the
+            trace under its hardware/options (memoised per distinct
+            hardware/options pair — points differing only in
+            model/workload share one replay).  Requires a plan-producing
+            fidelity (``compile``/``greedy``/``cached``): analytical
+            lower bounds have no programs to schedule.
     """
 
     def __init__(
@@ -299,6 +330,7 @@ class DSERunner:
         state: Optional[RunState] = None,
         batch_size: int = 8,
         seed: int = 0,
+        trace=None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -310,6 +342,18 @@ class DSERunner:
             )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if objective == "trace_p99":
+            if trace is None:
+                raise ValueError(
+                    "objective 'trace_p99' requires a trace "
+                    "(DSERunner(trace=...) / repro dse --trace FILE)"
+                )
+            if fidelity in ("analytical", "auto"):
+                raise ValueError(
+                    "objective 'trace_p99' needs real compiled plans; "
+                    f"fidelity {fidelity!r} is not supported (use "
+                    "'compile', 'greedy' or 'cached')"
+                )
         self.space = space
         self.strategy = (
             make_strategy(strategy, seed=seed) if isinstance(strategy, str) else strategy
@@ -323,6 +367,11 @@ class DSERunner:
         self.fidelity = fidelity
         self.state = state
         self.batch_size = batch_size
+        self.trace = trace
+        # Trace replays are memoised per (hardware, options): the replay
+        # outcome does not depend on the point's own model/workload, so
+        # a sweep whose axes only vary those costs a single replay.
+        self._trace_scores: Dict[Tuple[str, str], float] = {}
         # One memo per run: neighbouring design points share most
         # allocation windows (their boundary context is unchanged along a
         # sweep axis), so the memo turns a 12-point sweep into far fewer
@@ -548,8 +597,40 @@ class DSERunner:
         record.energy_mj = evaluation.energy_mj
         record.num_segments = evaluation.num_segments
         record.peak_arrays = evaluation.peak_arrays
+        if self.objective == "trace_p99":
+            record.trace_p99_ms = self._trace_p99(point)
         record.objective_value = getattr(record, OBJECTIVES[self.objective])
         return record
+
+    def _trace_p99(self, point: DesignPoint) -> float:
+        """p99 latency of the runner's trace under one point's chip/options.
+
+        Replays :attr:`trace` through the runner's own compile service
+        (sharing its allocation cache and solve memo) with the point's
+        hardware and compiler options.  A replay that drops any request
+        (a trace model infeasible under those options) scores ``inf`` —
+        a serving configuration that cannot run the traffic is not a
+        candidate, exactly like an infeasible single compile.
+        """
+        from ..sim.replay import ReplaySimulator
+        from .space import options_signature
+
+        key = (point.hardware.fingerprint(), str(options_signature(point.options)))
+        score = self._trace_scores.get(key)
+        if score is None:
+            simulator = ReplaySimulator(
+                hardware=point.hardware,
+                service=self.service,
+                options=point.options,
+            )
+            result = simulator.run(self.trace)
+            metrics = result.metrics
+            if metrics.failed or metrics.served == 0:
+                score = math.inf
+            else:
+                score = metrics.latency_p99_ms
+            self._trace_scores[key] = score
+        return score
 
     def _replicate(
         self, canonical: EvaluationRecord, point: DesignPoint

@@ -44,7 +44,12 @@ from ..core.compiler import CompilerOptions
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import get_preset
 from ..ir.graph import Graph
-from ..models.workload import Phase, Workload
+from ..models.workload import (
+    Phase,
+    Workload,
+    workload_from_payload as _workload_from_payload,
+    workload_to_payload as _workload_to_payload,
+)
 
 __all__ = [
     "DesignPoint",
@@ -85,27 +90,19 @@ def options_signature(options: CompilerOptions) -> Tuple:
 
 
 def workload_payload(workload: Workload) -> Dict:
-    """Canonical JSON-compatible rendering of a workload."""
-    return {
-        "batch_size": workload.batch_size,
-        "seq_len": workload.seq_len,
-        "output_len": workload.output_len,
-        "phase": workload.phase.value,
-        "kv_len": workload.kv_len,
-        "image_size": workload.image_size,
-    }
+    """Canonical JSON-compatible rendering of a workload.
+
+    Thin alias of :func:`repro.models.workload.workload_to_payload` —
+    the trace format (:mod:`repro.sim.traces`) shares the same
+    serialisation, so workloads round-trip identically between DSE run
+    directories and request traces.
+    """
+    return _workload_to_payload(workload)
 
 
 def workload_from_payload(payload: Mapping) -> Workload:
     """Rebuild a workload from :func:`workload_payload` output."""
-    return Workload(
-        batch_size=payload["batch_size"],
-        seq_len=payload["seq_len"],
-        output_len=payload["output_len"],
-        phase=Phase(payload["phase"]),
-        kv_len=payload.get("kv_len"),
-        image_size=payload.get("image_size", 224),
-    )
+    return _workload_from_payload(payload)
 
 
 def _digest(payload) -> str:

@@ -11,6 +11,7 @@ Fig. 17             :mod:`repro.experiments.generative`
 Fig. 18             :mod:`repro.experiments.compile_time`
 §5.5 analyses       :mod:`repro.experiments.overheads`
 Sensitivity (ext.)  :mod:`repro.experiments.sensitivity`
+SLO curves (ext.)   :mod:`repro.experiments.serving`
 ==================  ==========================================
 """
 
@@ -39,6 +40,7 @@ from .motivation import (
 )
 from .overheads import prime_scalability, switch_overhead
 from .sensitivity import run_sensitivity
+from .serving import run_slo_curve
 from .workload_scale import memory_ratio_trend, run_workload_scale
 
 __all__ = [
@@ -63,6 +65,7 @@ __all__ = [
     "run_sensitivity",
     "run_generative",
     "run_model",
+    "run_slo_curve",
     "run_workload_scale",
     "speedup",
     "summarize",

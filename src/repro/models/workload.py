@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 
 class Phase(Enum):
@@ -110,3 +110,39 @@ class Workload:
             f"batch={self.batch_size} seq={self.seq_len} out={self.output_len} "
             f"phase={self.phase.value}"
         )
+
+
+def workload_to_payload(workload: Workload) -> Dict:
+    """Canonical JSON-compatible rendering of a workload.
+
+    This is the one serialisation every persistence layer shares — DSE
+    point keys and run directories (:mod:`repro.dse.space`) and the
+    request-trace format (:mod:`repro.sim.traces`) — so a workload
+    written by one subsystem always reads back identically in another.
+    """
+    return {
+        "batch_size": workload.batch_size,
+        "seq_len": workload.seq_len,
+        "output_len": workload.output_len,
+        "phase": workload.phase.value,
+        "kv_len": workload.kv_len,
+        "image_size": workload.image_size,
+    }
+
+
+def workload_from_payload(payload: Mapping) -> Workload:
+    """Rebuild a workload from :func:`workload_to_payload` output.
+
+    Raises:
+        ValueError: Invalid field values (via ``Workload.__post_init__``)
+            or an unknown phase name.
+        KeyError: A required field is missing from the payload.
+    """
+    return Workload(
+        batch_size=payload["batch_size"],
+        seq_len=payload["seq_len"],
+        output_len=payload["output_len"],
+        phase=Phase(payload["phase"]),
+        kv_len=payload.get("kv_len"),
+        image_size=payload.get("image_size", 224),
+    )

@@ -7,8 +7,18 @@ from .functional import (
     OperatorCheck,
     execute_tiled_matmul,
 )
+from .metrics import ReplayMetrics, compute_metrics
 from .reference import ReferenceExecutor, ReferenceExecutionError, deterministic_tensor
+from .replay import ReplayResult, ReplaySimulator, RequestOutcome, replay_schedule
 from .timing import TimingBreakdown, TimingReport, TimingSimulator
+from .traces import (
+    Trace,
+    TraceFormatError,
+    TraceRequest,
+    load_trace,
+    save_trace,
+    synthetic_trace,
+)
 
 __all__ = [
     "FunctionalReport",
@@ -17,9 +27,21 @@ __all__ = [
     "OperatorCheck",
     "ReferenceExecutionError",
     "ReferenceExecutor",
+    "ReplayMetrics",
+    "ReplayResult",
+    "ReplaySimulator",
+    "RequestOutcome",
     "TimingBreakdown",
     "TimingReport",
     "TimingSimulator",
+    "Trace",
+    "TraceFormatError",
+    "TraceRequest",
+    "compute_metrics",
     "deterministic_tensor",
     "execute_tiled_matmul",
+    "load_trace",
+    "replay_schedule",
+    "save_trace",
+    "synthetic_trace",
 ]

@@ -1,0 +1,386 @@
+"""Trace-driven serving simulator with online CIM<->memory re-provisioning.
+
+The paper's compiler answers "how fast is one inference of one model on
+this chip"; this module answers the serving question the ROADMAP
+north-star needs: *what happens to tail latency when the chip serves a
+multi-model request stream and arrays must flip between compute and
+memory mode from one request to the next?*
+
+The simulator is a discrete-event replay of a :class:`~repro.sim.traces.
+Trace` against one chip:
+
+1. **Compile pool** — each distinct (model, workload) pair in the trace
+   is compiled exactly once through a :class:`~repro.service.
+   CompileService` (so the allocation cache makes repeated buckets
+   nearly free, and a warm replay performs zero allocator solves).
+2. **Event loop** — requests are served FIFO in arrival order on a
+   single-chip server whose clock is a
+   :class:`~repro.core.clock.ManualClock` advanced in *virtual
+   milliseconds*.  A request's service time is its program's predicted
+   ``end_to_end_ms``.
+3. **Re-provisioning** — when consecutive requests run *different*
+   programs, the chip must re-provision its arrays from the layout the
+   previous program ended in to the layout the next one starts with.
+   That cost is the paper's own mode-switch model (Eq. 1,
+   :func:`repro.cost.switching.mode_switch_cycles`) applied across the
+   request boundary.  Weight reloading for the incoming program is *not*
+   charged here — it is already part of the program's first-segment
+   inter-cost (and hence of ``end_to_end_ms``); charging it again would
+   double-count.
+
+The pure scheduling core (:func:`replay_schedule`) is separated from
+compilation so property/metamorphic tests can drive thousands of
+randomized schedules without ever invoking the compiler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace as dataclasses_replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.clock import ManualClock
+from ..core.compiler import CompilerOptions
+from ..core.program import CompiledProgram
+from ..cost.switching import mode_switch_cycles
+from ..hardware.deha import DualModeHardwareAbstraction
+from ..hardware.presets import get_preset
+from ..models.workload import workload_to_payload
+from ..service import CompileJob, CompileJobResult, CompileService
+from .metrics import ReplayMetrics, compute_metrics
+from .traces import Trace
+
+__all__ = [
+    "ReplayResult",
+    "ReplaySimulator",
+    "RequestOutcome",
+    "ScheduledRequest",
+    "replay_schedule",
+]
+
+#: Schema tag of :meth:`ReplayResult.to_json_dict` output.
+REPORT_SCHEMA = "repro-replay-report/1"
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """The scheduler-facing view of one request (no compiler objects).
+
+    Attributes:
+        request_id: Trace request id.
+        model: Model name (metrics are grouped by it).
+        arrival_ms: Arrival time on the virtual clock.
+        service_ms: Predicted execution time of the request's program, or
+            ``None`` when the program failed to compile (the request is
+            then dropped without occupying the server).
+        program_key: Identity of the program the request runs; the
+            switch-cost callable decides the re-provisioning charge from
+            consecutive keys.
+    """
+
+    request_id: str
+    model: str
+    arrival_ms: float
+    service_ms: Optional[float]
+    program_key: str
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one request during replay."""
+
+    request_id: str
+    model: str
+    arrival_ms: float
+    start_ms: float
+    switch_ms: float
+    service_ms: float
+    finish_ms: float
+    served: bool
+    error: Optional[str] = None
+
+    @property
+    def queue_ms(self) -> float:
+        """Time spent waiting for the server (excludes re-provisioning)."""
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.finish_ms - self.arrival_ms
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.request_id,
+            "model": self.model,
+            "arrival_ms": self.arrival_ms,
+            "start_ms": self.start_ms,
+            "queue_ms": self.queue_ms,
+            "switch_ms": self.switch_ms,
+            "service_ms": self.service_ms,
+            "finish_ms": self.finish_ms,
+            "latency_ms": self.latency_ms,
+            "served": self.served,
+            "error": self.error,
+        }
+
+
+def replay_schedule(
+    items: Sequence[ScheduledRequest],
+    switch_ms_between: Callable[[Optional[str], str], float],
+    clock: Optional[ManualClock] = None,
+) -> List[RequestOutcome]:
+    """Run the FIFO single-server event loop over pre-costed requests.
+
+    Requests are served in the given order (callers pass them
+    arrival-sorted, as :class:`~repro.sim.traces.Trace` guarantees).
+    For each served request the server waits until both the request has
+    arrived and the previous one has finished, pays the re-provisioning
+    cost ``switch_ms_between(previous_key, key)``, then executes for
+    ``service_ms``.  Failed requests (``service_ms is None``) are
+    recorded as unserved and neither occupy the server nor change the
+    array layout.
+
+    The loop advances ``clock`` (a fresh :class:`ManualClock` by
+    default) in virtual milliseconds; the clock only ever moves forward,
+    which is exactly the invariant ``ManualClock.advance`` enforces.
+    """
+    clock = clock if clock is not None else ManualClock()
+    outcomes: List[RequestOutcome] = []
+    previous_key: Optional[str] = None
+    for item in items:
+        if item.service_ms is None:
+            outcomes.append(
+                RequestOutcome(
+                    request_id=item.request_id,
+                    model=item.model,
+                    arrival_ms=item.arrival_ms,
+                    start_ms=item.arrival_ms,
+                    switch_ms=0.0,
+                    service_ms=0.0,
+                    finish_ms=item.arrival_ms,
+                    served=False,
+                    error=f"program {item.program_key!r} failed to compile",
+                )
+            )
+            continue
+        if item.arrival_ms > clock.now():
+            clock.advance(item.arrival_ms - clock.now())  # server idles
+        start_ms = clock.now()
+        switch_ms = float(switch_ms_between(previous_key, item.program_key))
+        clock.advance(switch_ms + item.service_ms)
+        outcomes.append(
+            RequestOutcome(
+                request_id=item.request_id,
+                model=item.model,
+                arrival_ms=item.arrival_ms,
+                start_ms=start_ms,
+                switch_ms=switch_ms,
+                service_ms=item.service_ms,
+                finish_ms=clock.now(),
+                served=True,
+            )
+        )
+        previous_key = item.program_key
+    return outcomes
+
+
+@dataclass
+class ReplayResult:
+    """Everything a replay produced: outcomes, metrics, compile stats."""
+
+    trace: Trace
+    hardware: DualModeHardwareAbstraction
+    outcomes: List[RequestOutcome]
+    metrics: ReplayMetrics
+    distinct_programs: int = 0
+    allocator_solves: int = 0
+    allocation_disk_hits: int = 0
+    compile_wall_seconds: float = 0.0
+    compile_errors: Dict[str, str] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict:
+        """JSON report: deterministic metrics plus compile accounting.
+
+        The ``metrics`` sub-dict depends only on the trace, hardware and
+        options — it is bit-identical across repeated runs with the same
+        seed (the determinism CI job compares exactly this block).  Wall
+        time and cache hits live under ``compile``, which legitimately
+        varies between cold and warm runs.
+        """
+        return {
+            "schema": REPORT_SCHEMA,
+            "hardware": {
+                "preset": self.hardware.name,
+                "fingerprint": self.hardware.fingerprint(),
+            },
+            "trace": {
+                "requests": len(self.trace),
+                "models": self.trace.models,
+                "metadata": self.trace.metadata,
+            },
+            "metrics": self.metrics.to_dict(),
+            "compile": {
+                "distinct_programs": self.distinct_programs,
+                "allocator_solves": self.allocator_solves,
+                "allocation_disk_hits": self.allocation_disk_hits,
+                "wall_seconds": self.compile_wall_seconds,
+                "errors": dict(sorted(self.compile_errors.items())),
+            },
+        }
+
+    def render_report(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        m = self.metrics
+        lines = [
+            f"replay: {self.trace.describe()} on {self.hardware.name}",
+            (
+                f"  programs: {self.distinct_programs} distinct, "
+                f"{self.allocator_solves} allocator solve(s), "
+                f"{self.allocation_disk_hits} disk hit(s)"
+            ),
+            (
+                f"  served {m.served}/{m.requests} request(s) in "
+                f"{m.makespan_ms:.3f} ms -> {m.throughput_rps:.2f} req/s"
+            ),
+            (
+                f"  latency p50={m.latency_p50_ms:.3f} ms "
+                f"p99={m.latency_p99_ms:.3f} ms max={m.latency_max_ms:.3f} ms"
+            ),
+            (
+                f"  utilisation={m.utilisation:.3f} "
+                f"switch_share={m.switch_share:.4f} "
+                f"(switching {m.switch_ms_total:.3f} ms of "
+                f"{m.service_ms_total + m.switch_ms_total:.3f} ms busy)"
+            ),
+        ]
+        for key, error in sorted(self.compile_errors.items()):
+            lines.append(f"  FAILED {key}: {error}")
+        return "\n".join(lines)
+
+
+def _program_key(model: str, workload) -> str:
+    """Stable identity of a (model, workload) pair within one replay."""
+    payload = json.dumps(workload_to_payload(workload), sort_keys=True)
+    return f"{model}|{payload}"
+
+
+class ReplaySimulator:
+    """Replays request traces against one chip.
+
+    Args:
+        hardware: Preset name or hardware abstraction the trace runs on.
+        service: Compile service to build programs through (shares its
+            allocation cache with everything else using it).  A private
+            in-memory service is created when omitted.
+        options: Compiler options for the trace's programs.  Code
+            generation is forced off — replay only consumes predicted
+            timings, and generating code for every distinct workload
+            would slow the pool down for nothing.
+    """
+
+    def __init__(
+        self,
+        hardware: Union[str, DualModeHardwareAbstraction] = "dynaplasia",
+        service: Optional[CompileService] = None,
+        options: Optional[CompilerOptions] = None,
+    ) -> None:
+        self.hardware = (
+            get_preset(hardware) if isinstance(hardware, str) else hardware
+        )
+        self.service = service if service is not None else CompileService()
+        base = options if options is not None else CompilerOptions()
+        if base.generate_code:
+            base = dataclasses_replace(base, generate_code=False)
+        self.options = base
+
+    # ------------------------------------------------------------------ #
+    # compile pool
+    # ------------------------------------------------------------------ #
+    def compile_pool(self, trace: Trace) -> Dict[str, CompileJobResult]:
+        """Compile each distinct (model, workload) of the trace once."""
+        jobs: Dict[str, CompileJob] = {}
+        for request in trace.requests:
+            key = _program_key(request.model, request.workload)
+            if key not in jobs:
+                jobs[key] = CompileJob(
+                    request.model,
+                    workload=request.workload,
+                    hardware=self.hardware,
+                    options=self.options,
+                    label=key,
+                )
+        keys = list(jobs)
+        results = self.service.compile_batch([jobs[key] for key in keys])
+        return dict(zip(keys, results))
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Trace) -> ReplayResult:
+        """Compile the trace's program pool and replay it over virtual time."""
+        pool = self.compile_pool(trace)
+        programs: Dict[str, CompiledProgram] = {
+            key: result.program for key, result in pool.items() if result.ok
+        }
+        items = [
+            ScheduledRequest(
+                request_id=request.request_id,
+                model=request.model,
+                arrival_ms=request.arrival_ms,
+                service_ms=(
+                    programs[key].end_to_end_ms if key in programs else None
+                ),
+                program_key=key,
+            )
+            for request in trace.requests
+            for key in [_program_key(request.model, request.workload)]
+        ]
+        outcomes = replay_schedule(items, self._switch_ms_between(programs))
+
+        def stats_sum(name: str) -> int:
+            return sum(int(result.stats.get(name, 0)) for result in pool.values())
+
+        return ReplayResult(
+            trace=trace,
+            hardware=self.hardware,
+            outcomes=outcomes,
+            metrics=compute_metrics(outcomes),
+            distinct_programs=len(pool),
+            allocator_solves=stats_sum("allocator_solves"),
+            allocation_disk_hits=stats_sum("allocation_disk_hits"),
+            compile_wall_seconds=sum(r.wall_seconds for r in pool.values()),
+            compile_errors={
+                key: result.error
+                for key, result in sorted(pool.items())
+                if not result.ok
+            },
+        )
+
+    def _switch_ms_between(
+        self, programs: Dict[str, CompiledProgram]
+    ) -> Callable[[Optional[str], str], float]:
+        """Re-provisioning cost between consecutive programs, in ms.
+
+        The chip leaves the previous program in its *last* segment's
+        array layout and must enter the next program's *first* segment
+        layout; Eq. 1 prices the arrays that flip mode.  Identical
+        consecutive programs (the common bucket-repeat case) cost 0, as
+        does the very first request (initial configuration is free in
+        the paper's model, and the program's own first-segment
+        inter-cost already covers its weight loading).
+        """
+
+        def switch_ms(previous_key: Optional[str], key: str) -> float:
+            if previous_key is None or previous_key == key:
+                return 0.0
+            previous = programs[previous_key]
+            current = programs[key]
+            cycles = mode_switch_cycles(
+                previous.segments[-1].resources,
+                current.segments[0].resources,
+                self.hardware,
+            )
+            return self.hardware.cycles_to_ms(cycles)
+
+        return switch_ms

@@ -1316,3 +1316,69 @@ class TestDseCliFidelity:
         # One probe per canonical job (the planner's); the evaluator
         # trusts the warm hint instead of probing again.
         assert len(calls) == space.size
+
+
+# ---------------------------------------------------------------------- #
+# trace_p99 objective
+# ---------------------------------------------------------------------- #
+class TestTraceObjective:
+    def _trace(self):
+        from repro.sim.traces import poisson_trace
+
+        return poisson_trace(
+            ["tiny-mlp", "tiny-cnn"], num_requests=8, seed=5, seq_len_buckets=(16,)
+        )
+
+    def test_requires_a_trace(self):
+        with pytest.raises(ValueError, match="requires a trace"):
+            DSERunner(tiny_space(), objective="trace_p99")
+
+    def test_rejects_planless_fidelities(self):
+        trace = self._trace()
+        for fidelity in ("analytical", "auto"):
+            with pytest.raises(ValueError, match="real compiled plans"):
+                DSERunner(
+                    tiny_space(), objective="trace_p99", fidelity=fidelity, trace=trace
+                )
+
+    def test_scores_points_by_trace_p99(self):
+        trace = self._trace()
+        result = DSERunner(tiny_space(), objective="trace_p99", trace=trace).run()
+        feasible = [r for r in result.records if r.feasible]
+        assert feasible
+        for record in feasible:
+            assert math.isfinite(record.trace_p99_ms)
+            assert record.objective_value == record.trace_p99_ms
+            # Tail latency under traffic is bounded below by the
+            # single-inference latency of the slowest trace program —
+            # in particular it cannot be *faster* than one inference of
+            # the point's own model family would suggest.
+            assert record.trace_p99_ms > 0.0
+
+    def test_replay_memoised_per_hardware_options(self):
+        # Two models per point set share (hardware, options) pairs; the
+        # trace must be replayed once per pair, not once per point.
+        trace = self._trace()
+        runner = DSERunner(
+            tiny_space(models=("tiny-cnn", "tiny-mlp")),
+            objective="trace_p99",
+            trace=trace,
+        )
+        runner.run()
+        # 2 array counts x 1 option set = 2 distinct replays.
+        assert len(runner._trace_scores) == 2
+
+    def test_record_round_trips_trace_metric(self):
+        trace = self._trace()
+        result = DSERunner(
+            tiny_space(arrays=(8,)), objective="trace_p99", trace=trace
+        ).run()
+        record = next(r for r in result.records if r.feasible)
+        clone = EvaluationRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert clone.trace_p99_ms == pytest.approx(record.trace_p99_ms)
+        # Non-finite trace metrics serialise as null and come back inf.
+        record.trace_p99_ms = math.inf
+        clone = EvaluationRecord.from_dict(record.to_dict())
+        assert clone.trace_p99_ms == math.inf

@@ -174,3 +174,29 @@ class TestCompileTimeAndOverheads:
     def test_prime_scalability_not_slower(self):
         rows = prime_scalability(models=("tiny-transformer",))
         assert rows[0]["speedup_vs_cim-mlc"] >= 0.99
+
+
+class TestServingSLOCurve:
+    def test_slo_curve_shape_and_monotone_load(self):
+        from repro.experiments.serving import render_report, run_slo_curve
+
+        rows = run_slo_curve(
+            presets=("small-test-chip",),
+            models=("tiny-mlp", "tiny-cnn"),
+            num_requests=10,
+            seed=3,
+            load_factors=(0.5, 1.0),
+        )
+        assert len(rows) == 2
+        light, heavy = rows
+        assert light["preset"] == heavy["preset"] == "small-test-chip"
+        # More offered load cannot reduce tail latency (same request
+        # sequence, gaps only tightened) and keeps the chip busier.
+        assert heavy["p99_ms"] >= light["p99_ms"] - 1e-9
+        assert heavy["utilisation"] >= light["utilisation"] - 1e-9
+        for row in rows:
+            assert 0.0 <= row["utilisation"] <= 1.0
+            assert row["p50_ms"] <= row["p99_ms"]
+            assert row["served"] == row["requests"] == 10
+        report = render_report(rows)
+        assert "p99_ms" in report and "small-test-chip" in report
