@@ -1,0 +1,111 @@
+"""Observability smoke check: the trace layer must tell the truth.
+
+Two modes, both exiting non-zero on the first violation:
+
+* ``python scripts/check_trace.py trace.json`` — validate an existing
+  Chrome/Perfetto trace file: it parses, every per-lane event stream is
+  monotonic, and B/E pairs nest like a well-formed bracket sequence
+  (:func:`repro.obs.export.validate_chrome_trace` enforces all three).
+
+* ``python scripts/check_trace.py`` (no argument) — self-contained
+  end-to-end check: compile a small model with tracing enabled, export
+  the trace, validate it, and cross-check the *pass* span durations
+  against the program's own ``stats["pass_seconds"]`` — the two are
+  measured by the same clock around the same calls, so they must agree
+  to a small absolute tolerance.  This is the guarantee that makes the
+  trace trustworthy: what the profiler shows is what the compiler
+  already reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Session  # noqa: E402
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+#: Absolute per-pass slack between span duration and pass_seconds.  Both
+#: are perf_counter differences around the same call; the span adds two
+#: clock reads and a buffer append, so the drift is microseconds — 5 ms
+#: absorbs CI scheduling noise without hiding a real mismatch.
+PASS_TOLERANCE_SECONDS = 5e-3
+
+
+def check_file(path: Path) -> int:
+    """Validate one existing trace file (parse + monotonic + nesting)."""
+    totals = validate_chrome_trace(path)
+    if not totals:
+        print(f"FAIL: {path} holds no spans")
+        return 1
+    print(f"OK: {path} valid ({len(totals)} span name(s))")
+    return 0
+
+
+def check_end_to_end(out_path: Path) -> int:
+    """Compile with tracing on; the trace must match the compiler's stats."""
+    session = Session(hardware="small-test-chip", trace=out_path)
+    program = session.compile("tiny-cnn")
+    session.export_trace()
+
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    totals = validate_chrome_trace(payload)
+    print(f"trace: {len(payload['traceEvents'])} events, {len(totals)} span name(s)")
+
+    pass_seconds = program.stats["pass_seconds"]
+    failures = 0
+    for pass_name, reported in sorted(pass_seconds.items()):
+        spanned = totals.get(pass_name)
+        if spanned is None:
+            print(f"FAIL: pass {pass_name!r} has stats but no span")
+            failures += 1
+            continue
+        drift = abs(spanned - reported)
+        verdict = "OK" if drift <= PASS_TOLERANCE_SECONDS else "FAIL"
+        print(
+            f"{verdict}: pass {pass_name:16s} span {spanned:.6f} s "
+            f"vs stats {reported:.6f} s (drift {drift:.6f} s)"
+        )
+        if verdict == "FAIL":
+            failures += 1
+    for required in ("pipeline", "allocator.solve"):
+        if required not in totals:
+            print(f"FAIL: expected span {required!r} missing from the trace")
+            failures += 1
+    if not failures:
+        print("OK: trace parses, nests and matches pass_seconds")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="existing trace file to validate (omit for the end-to-end check)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where the end-to-end mode writes its trace (default: a temp file)",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is not None:
+        return check_file(args.trace)
+    if args.out is not None:
+        return check_end_to_end(args.out)
+    with tempfile.TemporaryDirectory(prefix="obs-check-trace-") as tmp:
+        return check_end_to_end(Path(tmp) / "trace.json")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

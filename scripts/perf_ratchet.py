@@ -25,6 +25,14 @@ The warm pass is already asserted elsewhere (hit rate >= 95%, zero warm
 solves); the ratchet only guards the cold path the ISSUE-6 vectorisation
 sped up.  To *advance* the ratchet after a deliberate improvement,
 re-seed the baseline file with the bench command above and commit it.
+
+The script also understands replay reports: a measurement whose
+``schema`` is ``repro-replay-report/1`` (``repro replay --json-out``) is
+compared against the committed ``BENCH_replay.json`` instead.  Replay
+metrics are *deterministic* — same trace seed, same chip, same options
+produce bit-identical scheduling — so the ``hardware``, ``trace`` and
+``metrics`` blocks must match the baseline exactly, with no tolerance
+(wall time and cache hits live under ``compile``, which is ignored).
 """
 
 from __future__ import annotations
@@ -36,18 +44,61 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_compile_cold.json"
+DEFAULT_REPLAY_BASELINE = REPO_ROOT / "BENCH_replay.json"
 
-#: Fields the ratchet needs from both records.
+#: Fields the compile ratchet needs from both records.
 REQUIRED = ("cold_seconds", "allocator_solves_cold")
+
+#: Schema tag of repro.sim.replay reports (kept in sync with REPORT_SCHEMA).
+REPLAY_SCHEMA = "repro-replay-report/1"
+
+#: Replay-report blocks that must match the baseline bit-for-bit.
+REPLAY_EXACT_BLOCKS = ("hardware", "trace", "metrics")
+
+
+def load_json(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def load_record(path: Path) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        record = json.load(handle)
+    record = load_json(path)
     missing = [field for field in REQUIRED if field not in record]
     if missing:
         raise SystemExit(f"error: {path} is missing fields: {', '.join(missing)}")
     return record
+
+
+def check_replay(baseline: dict, measured: dict, baseline_name: str) -> int:
+    """Exact comparison of one replay report against the committed one."""
+    failures = []
+    if measured.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: {measured.get('schema')!r} vs "
+            f"{baseline.get('schema')!r} baseline"
+        )
+    for block in REPLAY_EXACT_BLOCKS:
+        if measured.get(block) != baseline.get(block):
+            failures.append(
+                f"{block} block diverged from the baseline (replay is "
+                f"deterministic; this is a real behaviour change):\n"
+                f"    measured: {json.dumps(measured.get(block), sort_keys=True)}\n"
+                f"    baseline: {json.dumps(baseline.get(block), sort_keys=True)}"
+            )
+    print(
+        f"replay ratchet (baseline {baseline_name}): "
+        f"{len(REPLAY_EXACT_BLOCKS)} exact blocks compared"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        metrics = measured.get("metrics", {})
+        print(
+            "OK: replay metrics bit-identical to the baseline "
+            f"(served {metrics.get('served')}, "
+            f"p99 {metrics.get('latency_p99_ms')} ms)"
+        )
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -58,8 +109,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=DEFAULT_BASELINE,
-        help=f"committed baseline record (default: {DEFAULT_BASELINE.name})",
+        default=None,
+        help=(
+            f"committed baseline record (default: {DEFAULT_BASELINE.name}, "
+            f"or {DEFAULT_REPLAY_BASELINE.name} for replay reports)"
+        ),
     )
     parser.add_argument(
         "--tolerance",
@@ -71,7 +125,13 @@ def main(argv=None) -> int:
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
 
-    baseline = load_record(args.baseline)
+    raw = load_json(args.measurement)
+    if raw.get("schema") == REPLAY_SCHEMA:
+        baseline_path = args.baseline or DEFAULT_REPLAY_BASELINE
+        return check_replay(load_json(baseline_path), raw, baseline_path.name)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = load_record(baseline_path)
     measured = load_record(args.measurement)
 
     base_solves = int(baseline["allocator_solves_cold"])
@@ -81,7 +141,7 @@ def main(argv=None) -> int:
     budget = base_seconds * (1.0 + args.tolerance)
 
     print(
-        f"perf ratchet (baseline {args.baseline.name}):\n"
+        f"perf ratchet (baseline {baseline_path.name}):\n"
         f"  solves : {now_solves} measured vs {base_solves} baseline (exact)\n"
         f"  wall   : {now_seconds:.3f} s measured vs {base_seconds:.3f} s "
         f"baseline (budget {budget:.3f} s = +{100 * args.tolerance:.0f}%)"

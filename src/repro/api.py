@@ -45,6 +45,15 @@ from .hardware.presets import get_preset
 from .ir.graph import Graph
 from .models.registry import build_model
 from .models.workload import Workload
+from .obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    profile_report,
+    write_chrome_trace,
+    write_span_jsonl,
+)
 from .service import CompileJob, CompileJobResult, CompileService
 
 __all__ = ["Session"]
@@ -80,6 +89,14 @@ class Session:
             :class:`CompileService` for the sharing contract.
         max_workers: Default pool width for batches.
         use_cache: Disable the shared cache entirely (A/B timing).
+        trace: Telemetry switch (off by default — the disabled path is a
+            measured-overhead-free no-op).  Accepts ``True`` (collect
+            spans + metrics in a fresh :class:`~repro.obs.Observability`
+            bundle), a :class:`~repro.obs.Tracer` or
+            :class:`~repro.obs.Observability` to bring your own, or a
+            path, which additionally becomes :meth:`export_trace`'s
+            default output file.  Everything the session runs — compiles,
+            batches, DSE sweeps, replays — records into the one bundle.
     """
 
     def __init__(
@@ -91,10 +108,23 @@ class Session:
         backend: str = "thread",
         max_workers: Optional[int] = None,
         use_cache: bool = True,
+        trace: Union[None, bool, str, Path, Tracer, Observability] = None,
     ) -> None:
         self.hardware = (
             get_preset(hardware) if isinstance(hardware, str) else hardware
         )
+        self._trace_path: Optional[Path] = None
+        if isinstance(trace, Observability):
+            self.obs = trace
+        elif isinstance(trace, Tracer):
+            self.obs = Observability(tracer=trace, metrics=MetricsRegistry())
+        elif isinstance(trace, (str, Path)):
+            self.obs = Observability.create()
+            self._trace_path = Path(trace)
+        elif trace:
+            self.obs = Observability.create()
+        else:
+            self.obs = NULL_OBS
         # Whether the caller pinned session-wide options matters for
         # batches: an explicit choice must govern every entry point, but
         # the *implicit* defaults differ by entry point (interactive
@@ -109,6 +139,7 @@ class Session:
             backend=backend,
             max_workers=max_workers,
             use_cache=use_cache,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------ #
@@ -146,7 +177,7 @@ class Session:
             get_preset(hardware) if isinstance(hardware, str) else hardware
         )
         compiler = CMSwitchCompiler(
-            target, options or self.options, cache=self.cache
+            target, options or self.options, cache=self.cache, obs=self.obs
         )
         return compiler.compile(graph)
 
@@ -238,7 +269,7 @@ class Session:
         if options is None and self._options_given:
             options = self.options
         simulator = ReplaySimulator(
-            hardware=target, service=self.service, options=options
+            hardware=target, service=self.service, options=options, obs=self.obs
         )
         return simulator.run(trace)
 
@@ -307,6 +338,7 @@ class Session:
             batch_size=batch_size,
             seed=seed,
             trace=trace,
+            obs=self.obs,
         )
         return runner.run(budget=budget)
 
@@ -332,6 +364,44 @@ class Session:
     def cache_stats(self) -> CacheStats:
         """Aggregate cache counters across everything this session ran."""
         return self.service.cache_stats
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def tracer(self):
+        """The session's span tracer (a no-op unless ``trace`` was set)."""
+        return self.obs.tracer
+
+    @property
+    def metrics(self):
+        """The session's metrics registry (no-op unless ``trace`` set)."""
+        return self.obs.metrics
+
+    def export_trace(self, path: Union[None, str, Path] = None) -> Path:
+        """Write everything recorded so far as a Chrome/Perfetto trace.
+
+        Args:
+            path: Output file; defaults to the path given as
+                ``Session(trace=...)``.
+
+        Raises:
+            ValueError: Tracing is off, or no path is available.
+        """
+        target = Path(path) if path is not None else self._trace_path
+        if target is None:
+            raise ValueError("no trace path: pass one here or as Session(trace=path)")
+        if not self.obs.tracer.enabled:
+            raise ValueError("tracing is off; construct the Session with trace=...")
+        return write_chrome_trace(target, self.obs.tracer.spans())
+
+    def write_span_log(self, path: Union[str, Path]) -> Path:
+        """Write the recorded spans as JSONL (one object per span)."""
+        return write_span_jsonl(path, self.obs.tracer.spans())
+
+    def profile_report(self, top: int = 15) -> str:
+        """Text profile: top spans by total wall + the metrics table."""
+        return profile_report(self.obs.tracer.spans(), self.obs.metrics, top=top)
 
     def describe(self) -> str:
         """One-line session summary for logs."""

@@ -118,6 +118,7 @@ class BaselineCompiler:
         """
         from ..core.compiler import CompilerOptions
         from ..pipeline import PipelineContext
+        from ..pipeline.pipeline import instrumentation_stats
 
         start = time.perf_counter()
         options = CompilerOptions(
@@ -151,7 +152,7 @@ class BaselineCompiler:
             },
             stats={
                 "wall_seconds": elapsed,
-                "pass_seconds": dict(ctx.pass_seconds),
+                **instrumentation_stats(ctx),
             },
             meta_program=ctx.meta_program,
         )

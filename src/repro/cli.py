@@ -48,6 +48,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import re
 import sys
 from pathlib import Path
@@ -59,6 +60,69 @@ from .core.compiler import CompilerOptions
 from .hardware.presets import PRESETS, get_preset
 from .models.registry import is_transformer, list_models
 from .models.workload import Phase, Workload
+
+LOGGER = logging.getLogger("repro")
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Route ``repro`` status logging to stderr at the requested level.
+
+    The CLI is quiet by default (WARNING): stdout carries only results
+    and machine-checkable summary lines, never progress chatter.  ``-v``
+    surfaces status lines (INFO), ``-vv`` debug detail.  The handler is
+    re-created on every call so repeated in-process invocations (tests,
+    notebooks) always write to the *current* ``sys.stderr``.
+    """
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli = True
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared observability flags of the compile-shaped sub-commands."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a hierarchical span trace of this run and write it "
+            "as Chrome/Perfetto trace_event JSON (open in chrome://tracing "
+            "or ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-time profile (top spans + metric counters) at the end",
+    )
+
+
+def _session_trace(args: argparse.Namespace):
+    """The ``Session(trace=...)`` value implied by --trace-out/--profile."""
+    if args.trace_out:
+        return args.trace_out
+    return True if args.profile else None
+
+
+def _finish_obs(session: Session, args: argparse.Namespace) -> None:
+    """Export the trace / print the profile after a traced command."""
+    if args.trace_out:
+        path = session.export_trace()
+        print(f"chrome trace: {path}")
+    if args.profile:
+        print(session.profile_report())
 
 
 def _reject_unknown_models(models: Sequence[str]) -> Optional[int]:
@@ -173,6 +237,7 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        trace=_session_trace(args),
     )
     jobs = []
     for round_index in range(max(1, args.repeat)):
@@ -248,6 +313,7 @@ def cmd_compile_batch(args: argparse.Namespace) -> int:
     # warm-start behaviour is visible as disk-tier hits).
     print(f"total allocator solves: {total_solves}")
     print(f"total disk hits: {total_disk_hits}")
+    _finish_obs(session, args)
     return 1 if failures else 0
 
 
@@ -407,10 +473,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
     if args.save_trace:
         path = save_trace(trace, args.save_trace)
-        print(f"trace written: {path}")
+        LOGGER.info("trace written: %s", path)
 
     session = Session(
-        hardware=args.preset, cache_dir=args.cache_dir, max_workers=args.jobs
+        hardware=args.preset,
+        cache_dir=args.cache_dir,
+        max_workers=args.jobs,
+        trace=_session_trace(args),
     )
     result = session.replay(trace)
     print(result.render_report())
@@ -429,7 +498,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
             json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
-        print(f"json report: {out}")
+        LOGGER.info("json report: %s", out)
+    _finish_obs(session, args)
     return 1 if result.compile_errors else 0
 
 
@@ -540,31 +610,33 @@ def cmd_dse(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(
-        f"dse: {space.describe()}, strategy {args.strategy}, "
-        f"objective {objective}, fidelity {args.fidelity}, run dir {run_dir}"
+    LOGGER.info(
+        "dse: %s, strategy %s, objective %s, fidelity %s, run dir %s",
+        space.describe(), args.strategy, objective, args.fidelity, run_dir,
     )
     if trace is not None:
-        print(f"trace: {trace.describe()}")
+        LOGGER.info("trace: %s", trace.describe())
     if args.fidelity == "auto" and args.strategy != "successive-halving":
+        # Stays on stdout: this changes the strategy the user asked for.
         print(
             "note: --fidelity auto schedules rungs itself; using the "
             "successive-halving strategy (analytical rung 0, survivors "
             "climb greedy then compile fidelity)"
         )
     if state.space_changed:
-        print(
+        LOGGER.info(
             "note: resuming with a different design space; overlapping "
             "points are skipped by key"
         )
     if state.completed:
-        print(f"resume: {len(state.completed)} completed point(s) on record")
+        LOGGER.info("resume: %d completed point(s) on record", len(state.completed))
 
     session = Session(
         hardware=hardware,
         cache_dir=args.cache_dir,
         backend=args.backend,
         max_workers=args.jobs,
+        trace=_session_trace(args),
     )
     with state:
         result = session.explore(
@@ -603,8 +675,9 @@ def cmd_dse(args: argparse.Namespace) -> int:
     report_path.write_text(report + "\n" + result.summary() + "\n", encoding="utf-8")
     csv_path = result.write_csv(run_dir / "pareto.csv")
     print(result.summary())
-    print(f"report: {report_path}")
-    print(f"pareto csv: {csv_path}")
+    LOGGER.info("report: %s", report_path)
+    LOGGER.info("pareto csv: %s", csv_path)
+    _finish_obs(session, args)
     return 1 if failures else 0
 
 
@@ -677,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CMSwitch dual-mode CIM compiler (paper reproduction)"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="status logging on stderr (-v progress, -vv debug); default is quiet",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     models = sub.add_parser("models", help="list registered models")
@@ -728,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="worker pool backend (process workers share solves via --cache-dir)",
     )
+    _add_obs_arguments(batch)
     batch.set_defaults(func=cmd_compile_batch)
 
     compare = sub.add_parser("compare", help="compare CMSwitch against the baselines")
@@ -868,6 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile-service backend",
     )
     dse.add_argument("--jobs", type=int, default=None, help="compile pool width")
+    _add_obs_arguments(dse)
     dse.set_defaults(func=cmd_dse)
 
     replay = sub.add_parser(
@@ -929,6 +1011,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--save-trace", default=None, help="also write the replayed trace here"
     )
+    _add_obs_arguments(replay)
     replay.set_defaults(func=cmd_replay)
 
     cache = sub.add_parser(
@@ -964,6 +1047,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     return args.func(args)
 
 

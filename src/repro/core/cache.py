@@ -52,6 +52,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..cost.arithmetic import OperatorProfile
 from ..cost.latency import OperatorAllocation
 from ..hardware.deha import DualModeHardwareAbstraction
+from ..obs.metrics import NULL_METRICS
 from .allocation import AllocationResult
 from .store import DiskCacheStore
 
@@ -322,10 +323,17 @@ class AllocationCache:
         store: Optional persistent second tier.  Memory misses fall
             through to it, its hits are promoted into memory, and fresh
             solves are written through to it.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`.  Tier
+            counters are *mirrored* into it under ``cache.memory.*`` /
+            ``cache.disk.*`` names; ``self.stats`` stays the exact,
+            bit-compatible source of truth either way.
     """
 
     def __init__(
-        self, max_entries: int = 4096, store: Optional[DiskCacheStore] = None
+        self,
+        max_entries: int = 4096,
+        store: Optional[DiskCacheStore] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -334,6 +342,7 @@ class AllocationCache:
         self._entries: "OrderedDict[AllocationCacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self.metrics = NULL_METRICS if metrics is None else metrics
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -372,6 +381,7 @@ class AllocationCache:
                 self.stats.hits += 1
                 if cross_mode:
                     self.stats.cross_mode_hits += 1
+                self.metrics.inc("cache.memory.hits")
                 return entry.to_result(names)
         if self.store is not None:
             # Disk probes run outside the lock: a slow filesystem must not
@@ -384,9 +394,11 @@ class AllocationCache:
                     self.stats.disk_hits += 1
                     if cross_mode:
                         self.stats.cross_mode_hits += 1
+                self.metrics.inc("cache.disk.hits")
                 return entry.to_result(names, from_disk=True)
         with self._lock:
             self.stats.misses += 1
+        self.metrics.inc("cache.misses")
         return None
 
     def _memory_probe(
@@ -452,6 +464,7 @@ class AllocationCache:
         with self._lock:
             self._insert(key, entry)
             self.stats.stores += 1
+        self.metrics.inc("cache.stores")
         if self.store is not None:
             self.store.put(key, entry)
 

@@ -126,6 +126,9 @@ class CMSwitchCompiler:
             live for one run; pass the same memo to many compilers (a DSE
             sweep does) so neighbouring compiles reuse each other's
             allocation solves even without a shared cache.
+        obs: Optional :class:`~repro.obs.Observability` bundle; every
+            compile's pass spans, allocator-solve spans and cache-tier
+            counters land in it.  Defaults to the no-op bundle.
 
     Example:
         >>> from repro.hardware import dynaplasia
@@ -145,13 +148,16 @@ class CMSwitchCompiler:
         cache: Optional[AllocationCache] = None,
         pipeline=None,
         solve_memo=None,
+        obs=None,
     ) -> None:
+        from ..obs import NULL_OBS
         from ..pipeline import build_pipeline
 
         self.hardware = hardware
         self.options = options or CompilerOptions()
         self.cache = cache
         self.solve_memo = solve_memo
+        self.obs = NULL_OBS if obs is None else obs
         self.pipeline = pipeline if pipeline is not None else build_pipeline()
 
     def compile(self, graph: Graph) -> CompiledProgram:
@@ -182,6 +188,7 @@ class CMSwitchCompiler:
             options=self.options,
             cache=self.cache,
             solve_memo=self.solve_memo,
+            obs=self.obs,
             compiler_name=self.name,
             started=time.perf_counter(),
         )

@@ -37,6 +37,7 @@ import threading
 from typing import Dict, Mapping, Optional, Sequence
 
 from ..hardware.deha import DualModeHardwareAbstraction
+from ..obs.metrics import NULL_METRICS
 from .allocation import AllocationResult
 from .cache import AllocationCacheKey, CacheEntry
 from ..cost.arithmetic import OperatorProfile
@@ -53,6 +54,11 @@ class SolveMemo:
     dual-mode pass and the fixed-mode fallback pass — then share solves
     in process memory.
 
+    Args:
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; hits,
+            misses and stores are mirrored under ``memo.*`` while the
+            plain counters stay the exact source of truth.
+
     Attributes:
         hits: Lookups served from the memo (cross-mode hits included).
         misses: Lookups that fell through (to the shared cache or a
@@ -60,12 +66,13 @@ class SolveMemo:
         stores: Entries written.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[object] = None) -> None:
         self._entries: Dict[AllocationCacheKey, CacheEntry] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.metrics = NULL_METRICS if metrics is None else metrics
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -97,8 +104,10 @@ class SolveMemo:
                     entry = dual
             if entry is None:
                 self.misses += 1
+                self.metrics.inc("memo.misses")
                 return None
             self.hits += 1
+        self.metrics.inc("memo.hits")
         return entry.to_result(names)
 
     def put(
@@ -127,6 +136,7 @@ class SolveMemo:
         with self._lock:
             self._entries[key] = entry
             self.stores += 1
+        self.metrics.inc("memo.stores")
 
     def stats_dict(self) -> Dict[str, int]:
         """Plain counters for reports and tests."""

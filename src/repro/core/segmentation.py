@@ -41,6 +41,7 @@ from .allocation import (
     allocate_segment,
 )
 from .feasibility import FeasibilityModel
+from ..obs import NULL_OBS
 from .program import SegmentPlan
 
 
@@ -100,6 +101,11 @@ class SegmentationOptions:
     #: state, not configuration — excluded from equality and repr so
     #: option signatures and comparisons stay purely declarative.
     solve_memo: Optional[object] = field(default=None, compare=False, repr=False)
+    #: Optional :class:`~repro.obs.Observability` bundle.  Runtime state
+    #: like ``solve_memo``: the segmenter emits one span per fresh
+    #: allocator solve and mirrors tier counters into the metrics
+    #: registry.  Excluded from equality/repr for the same reason.
+    obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         validate_window(self.max_segment_operators)
@@ -514,6 +520,9 @@ class NetworkSegmenter:
         self._allocation_cache: Dict[Tuple[int, int], AllocationResult] = {}
         self._shared_cache = cache
         self._solve_memo = getattr(self.options, "solve_memo", None)
+        obs = getattr(self.options, "obs", None)
+        self._tracer = obs.tracer if obs is not None else NULL_OBS.tracer
+        self._metrics = obs.metrics if obs is not None else NULL_OBS.metrics
         # Per-unit-list precomputation (one segmenter serves exactly one
         # unit list, like ``_allocation_cache`` already assumes).
         self._vectors: Optional[ProfileVectors] = None
@@ -581,22 +590,29 @@ class NetworkSegmenter:
             if not self._window_fits(units, start, end):
                 result = AllocationResult({}, INFEASIBLE_LATENCY, False, "infeasible")
             else:
-                result = allocate_segment(
-                    self._segment_profiles(units, start, end),
-                    self.hardware,
-                    allocator=self._allocator,
-                    pipelined=self.options.pipelined,
-                    refine=self.options.refine,
-                    reserve_arrays=self._boundary_reserve(units, end),
-                    cache=self._shared_cache,
-                    memo=self._solve_memo,
-                )
+                with self._tracer.span("allocator.solve", start=start, end=end) as span:
+                    result = allocate_segment(
+                        self._segment_profiles(units, start, end),
+                        self.hardware,
+                        allocator=self._allocator,
+                        pipelined=self.options.pipelined,
+                        refine=self.options.refine,
+                        reserve_arrays=self._boundary_reserve(units, end),
+                        cache=self._shared_cache,
+                        memo=self._solve_memo,
+                    )
+                    span.set(solver=result.solver, cached=result.from_cache)
                 if result.from_cache:
                     self.cache_hits += 1
                     if result.from_disk:
                         self.disk_hits += 1
+                        self._metrics.inc("allocator.hits.disk")
+                    else:
+                        self._metrics.inc("allocator.hits.memory")
                 else:
                     self.allocation_calls += 1
+                    self._metrics.inc("allocator.solves")
+                    self._metrics.inc(f"allocator.solves.{result.solver}")
             self._allocation_cache[key] = result
         return self._allocation_cache[key]
 

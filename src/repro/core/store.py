@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from .clock import SYSTEM_CLOCK, Clock
+from ..obs.metrics import NULL_METRICS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports store)
     from .cache import AllocationCacheKey, CacheEntry
@@ -179,6 +180,9 @@ class DiskCacheStore:
             CLI's entry-age display).  Defaults to the real system
             clock; tests inject a :class:`~repro.core.clock.ManualClock`
             so GC behaviour is deterministic.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; every
+            counter bump is mirrored under ``store.<counter>`` while
+            ``self.stats`` stays the exact source of truth.
     """
 
     def __init__(
@@ -186,6 +190,7 @@ class DiskCacheStore:
         root: Union[str, Path],
         max_bytes: int = DEFAULT_MAX_BYTES,
         clock: Optional[Clock] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
@@ -194,6 +199,7 @@ class DiskCacheStore:
         self.clock = SYSTEM_CLOCK if clock is None else clock
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = DiskStoreStats()
+        self.metrics = NULL_METRICS if metrics is None else metrics
         self._lock = threading.Lock()
         self._approx_bytes: Optional[int] = None  # lazily scanned
 
@@ -495,6 +501,7 @@ class DiskCacheStore:
             self._approx_bytes = 0
 
     def _count(self, counter: str) -> None:
-        """Thread-safe stat increment."""
+        """Thread-safe stat increment (mirrored into the metrics registry)."""
         with self._lock:
             setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        self.metrics.inc(f"store.{counter}")

@@ -315,6 +315,10 @@ class DSERunner:
             model/workload share one replay).  Requires a plan-producing
             fidelity (``compile``/``greedy``/``cached``): analytical
             lower bounds have no programs to schedule.
+        obs: Optional :class:`~repro.obs.Observability` bundle, threaded
+            into the compile service, solve memo and trace replays; the
+            run loop records a fidelity-tagged span per batch and per
+            evaluated point and mirrors counters under ``dse.*``.
     """
 
     def __init__(
@@ -331,7 +335,10 @@ class DSERunner:
         batch_size: int = 8,
         seed: int = 0,
         trace=None,
+        obs=None,
     ) -> None:
+        from ..obs import NULL_OBS
+
         if objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective {objective!r}; known: {', '.join(sorted(OBJECTIVES))}"
@@ -376,13 +383,15 @@ class DSERunner:
         # allocation windows (their boundary context is unchanged along a
         # sweep axis), so the memo turns a 12-point sweep into far fewer
         # solves than 12 independent cold compiles — cache or no cache.
-        self.solve_memo = SolveMemo()
+        self.obs = NULL_OBS if obs is None else obs
+        self.solve_memo = SolveMemo(metrics=self.obs.metrics)
         self.service = CompileService(
             cache=cache,
             cache_dir=cache_dir,
             backend=backend,
             max_workers=max_workers,
             solve_memo=self.solve_memo,
+            obs=self.obs,
         )
         store = self.service.cache.store if self.service.cache is not None else None
         self.planner = Planner(store=store)
@@ -503,28 +512,31 @@ class DSERunner:
                     fresh.append(point)
             batch_records: List[EvaluationRecord] = []
             if fresh:
-                plan = self.planner.plan(fresh, fidelity=batch_fidelity)
-                result.warm_planned += plan.n_warm
-                result.cold_planned += plan.n_cold
-                jobs = [
-                    CompileJob(
-                        # An unplannable point (graph=None) ships its model
-                        # reference; the evaluator's rebuild surfaces the
-                        # error into this job's own result.
-                        job.graph if job.graph is not None else job.point.model,
-                        workload=job.point.workload,
-                        hardware=job.point.hardware,
-                        options=dc_replace(job.point.options, generate_code=False),
-                        label=job.point.describe(),
+                with self.obs.tracer.span(
+                    "dse.batch", fidelity=batch_fidelity, points=len(fresh)
+                ):
+                    plan = self.planner.plan(fresh, fidelity=batch_fidelity)
+                    result.warm_planned += plan.n_warm
+                    result.cold_planned += plan.n_cold
+                    jobs = [
+                        CompileJob(
+                            # An unplannable point (graph=None) ships its
+                            # model reference; the evaluator's rebuild
+                            # surfaces the error into this job's own result.
+                            job.graph if job.graph is not None else job.point.model,
+                            workload=job.point.workload,
+                            hardware=job.point.hardware,
+                            options=dc_replace(job.point.options, generate_code=False),
+                            label=job.point.describe(),
+                        )
+                        for job in plan.jobs
+                    ]
+                    # The planner just probed every canonical job; hand the
+                    # verdicts to the evaluator so the cached tier does not
+                    # probe (and flatten) each candidate a second time.
+                    evaluations = self.evaluator(batch_fidelity).evaluate_batch(
+                        jobs, warm_hints=[job.warm for job in plan.jobs]
                     )
-                    for job in plan.jobs
-                ]
-                # The planner just probed every canonical job; hand the
-                # verdicts to the evaluator so the cached tier does not
-                # probe (and flatten) each candidate a second time.
-                evaluations = self.evaluator(batch_fidelity).evaluate_batch(
-                    jobs, warm_hints=[job.warm for job in plan.jobs]
-                )
                 for planned, evaluation in zip(plan.jobs, evaluations):
                     record = self._record(planned.point, evaluation)
                     batch_records.append(record)
@@ -565,42 +577,53 @@ class DSERunner:
     # ------------------------------------------------------------------ #
     def _record(self, point: DesignPoint, evaluation: Evaluation) -> EvaluationRecord:
         """Convert one typed evaluation into the persistent record shape."""
-        record = EvaluationRecord(
-            point_key=point.key,
-            model=point.model_name,
-            workload=point.workload.describe(),
-            hardware=point.hardware.name,
-            num_arrays=point.hardware.num_arrays,
-            hardware_fingerprint=point.hardware.fingerprint(),
-            coords=point.coords,
-            allow_memory_mode=point.options.allow_memory_mode,
-            objective=self.objective,
-            space_fingerprint=self.space.fingerprint(),
-            fidelity=evaluation.fidelity,
-            lower_bound=evaluation.lower_bound,
-            wall_seconds=evaluation.eval_seconds,
-            allocator_solves=evaluation.allocator_solves,
-            cache_hits=evaluation.cache_hits,
-            disk_hits=evaluation.disk_hits,
-        )
-        if evaluation.skipped:
-            record.status = "cold"
-            record.error = evaluation.error
+        metrics = self.obs.metrics
+        metrics.inc("dse.points")
+        metrics.inc(f"dse.points.{evaluation.fidelity}")
+        with self.obs.tracer.span(
+            "dse.point", point=point.key, fidelity=evaluation.fidelity
+        ) as span:
+            record = EvaluationRecord(
+                point_key=point.key,
+                model=point.model_name,
+                workload=point.workload.describe(),
+                hardware=point.hardware.name,
+                num_arrays=point.hardware.num_arrays,
+                hardware_fingerprint=point.hardware.fingerprint(),
+                coords=point.coords,
+                allow_memory_mode=point.options.allow_memory_mode,
+                objective=self.objective,
+                space_fingerprint=self.space.fingerprint(),
+                fidelity=evaluation.fidelity,
+                lower_bound=evaluation.lower_bound,
+                wall_seconds=evaluation.eval_seconds,
+                allocator_solves=evaluation.allocator_solves,
+                cache_hits=evaluation.cache_hits,
+                disk_hits=evaluation.disk_hits,
+            )
+            if evaluation.skipped:
+                record.status = "cold"
+                record.error = evaluation.error
+                metrics.inc("dse.points.cold")
+                span.set(status="cold")
+                return record
+            if not evaluation.feasible:
+                record.error = evaluation.error
+                record.failed = evaluation.failed
+                metrics.inc("dse.points.infeasible")
+                span.set(status="infeasible")
+                return record
+            record.feasible = True
+            record.latency_ms = evaluation.latency_ms
+            record.cycles = evaluation.cycles
+            record.energy_mj = evaluation.energy_mj
+            record.num_segments = evaluation.num_segments
+            record.peak_arrays = evaluation.peak_arrays
+            if self.objective == "trace_p99":
+                record.trace_p99_ms = self._trace_p99(point)
+            record.objective_value = getattr(record, OBJECTIVES[self.objective])
+            span.set(status="feasible")
             return record
-        if not evaluation.feasible:
-            record.error = evaluation.error
-            record.failed = evaluation.failed
-            return record
-        record.feasible = True
-        record.latency_ms = evaluation.latency_ms
-        record.cycles = evaluation.cycles
-        record.energy_mj = evaluation.energy_mj
-        record.num_segments = evaluation.num_segments
-        record.peak_arrays = evaluation.peak_arrays
-        if self.objective == "trace_p99":
-            record.trace_p99_ms = self._trace_p99(point)
-        record.objective_value = getattr(record, OBJECTIVES[self.objective])
-        return record
 
     def _trace_p99(self, point: DesignPoint) -> float:
         """p99 latency of the runner's trace under one point's chip/options.
@@ -618,18 +641,25 @@ class DSERunner:
         key = (point.hardware.fingerprint(), str(options_signature(point.options)))
         score = self._trace_scores.get(key)
         if score is None:
-            simulator = ReplaySimulator(
-                hardware=point.hardware,
-                service=self.service,
-                options=point.options,
-            )
-            result = simulator.run(self.trace)
+            self.obs.metrics.inc("dse.trace_replays")
+            with self.obs.tracer.span(
+                "dse.trace_replay", hardware=point.hardware.name
+            ):
+                simulator = ReplaySimulator(
+                    hardware=point.hardware,
+                    service=self.service,
+                    options=point.options,
+                    obs=self.obs,
+                )
+                result = simulator.run(self.trace)
             metrics = result.metrics
             if metrics.failed or metrics.served == 0:
                 score = math.inf
             else:
                 score = metrics.latency_p99_ms
             self._trace_scores[key] = score
+        else:
+            self.obs.metrics.inc("dse.trace_replay.memo_hits")
         return score
 
     def _replicate(

@@ -1,0 +1,386 @@
+"""Hierarchical span tracing (zero-dependency, thread-safe).
+
+A :class:`Tracer` records *spans* — named, attributed intervals on an
+injectable :class:`~repro.core.clock.Clock` — nested through ordinary
+``with`` blocks::
+
+    with tracer.span("segment", graph="bert"):
+        with tracer.span("allocate", segment=3) as handle:
+            ...
+            handle.set(solver="milp")
+
+Nesting is per-thread: each thread keeps its own stack of active spans,
+so concurrent ``CompileService`` workers produce independent well-formed
+sub-forests that merge on :meth:`Tracer.spans`.  Cross-thread edges
+(a pool worker's job span hanging under the batch span opened on the
+main thread) are made explicit with ``parent=``.  Process-pool workers
+build their own tracer, ship the finished :class:`Span` list back with
+the job result (spans are plain picklable dataclasses), and the parent
+re-roots them with :meth:`Tracer.adopt`.
+
+The disabled path is the null-object :data:`NULL_TRACER`: every call is
+a constant-time no-op returning shared singletons, so instrumented code
+never branches on "is tracing on?" and the cold-compile bench stays
+within the ratchet's tolerance with telemetry compiled in.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.clock import Clock, SYSTEM_CLOCK
+
+__all__ = ["Span", "SpanHandle", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One finished (or instant) interval on a tracer's clock.
+
+    Plain data, no behaviour beyond serialisation: spans cross process
+    boundaries by pickling (process-backend workers ship them home with
+    job results), so everything here must stay picklable and equality
+    must be bit-exact for the round-trip tests.
+
+    Attributes:
+        name: What the interval covers (``"segment"``, ``"compile"``).
+        start: Start time in seconds on the recording tracer's clock.
+        end: End time; equals ``start`` for instant events.
+        span_id: Id unique within the recording tracer.
+        parent_id: Enclosing span's id, or None for a root.
+        thread: Label of the recording thread (name + ident).
+        process: Label of the recording process (``pid-<n>``).
+        attrs: Small JSON-compatible annotation dict.
+        instant: True for point events (:meth:`Tracer.event`).
+    """
+
+    name: str
+    start: float
+    end: float
+    span_id: int
+    parent_id: Optional[int]
+    thread: str
+    process: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    instant: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Length in seconds (0.0 for instants)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (the JSONL exporter's row)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "process": self.process,
+            "attrs": dict(self.attrs),
+            "instant": self.instant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            start=payload["start"],
+            end=payload["end"],
+            span_id=payload["span_id"],
+            parent_id=payload["parent_id"],
+            thread=payload["thread"],
+            process=payload["process"],
+            attrs=dict(payload.get("attrs", {})),
+            instant=bool(payload.get("instant", False)),
+        )
+
+
+ParentLike = Union[None, int, Span, "SpanHandle"]
+
+
+class SpanHandle:
+    """Context manager for one active span.
+
+    Returned by :meth:`Tracer.span`; entering starts the clock and
+    pushes the span onto the calling thread's stack, exiting records the
+    finished :class:`Span`.  :meth:`set` attaches attributes discovered
+    mid-flight (the solver that won, the cache tier that hit).
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, parent: ParentLike, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0  # allocated on __enter__
+        self.parent_id = _resolve_parent(parent)
+        self.start = 0.0
+
+    def set(self, **attrs: object) -> "SpanHandle":
+        """Merge attributes into the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        self._tracer._begin(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+
+def _resolve_parent(parent: ParentLike) -> Optional[int]:
+    """Accept a handle, a finished span, a raw id, or None."""
+    if parent is None:
+        return None
+    if isinstance(parent, int):
+        return parent
+    return parent.span_id
+
+
+class Tracer:
+    """Collects spans from any number of threads.
+
+    Each thread appends to its own buffer (registered once under the
+    tracer lock, then appended to lock-free — list.append is atomic
+    under the GIL); :meth:`spans` / :meth:`flush` merge the buffers
+    into one start-ordered list.
+
+    Args:
+        clock: Time source; spans use ``clock.perf`` (monotonic).  Tests
+            inject :class:`~repro.core.clock.ManualClock` to make
+            durations deterministic.
+        process: Label stamped on every span; defaults to ``pid-<os pid>``
+            so adopted worker spans stay distinguishable.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK, process: Optional[str] = None) -> None:
+        self.clock = clock
+        self.process = process if process is not None else f"pid-{os.getpid()}"
+        self._lock = threading.Lock()
+        # A list, not an ident-keyed dict: the OS reuses thread idents
+        # after a thread exits, and keying by ident would silently
+        # overwrite (and lose) a finished thread's buffer.
+        self._buffers: List[List[Span]] = []
+        self._local = threading.local()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, parent: ParentLike = None, **attrs: object) -> SpanHandle:
+        """Open a span; use as a context manager.
+
+        ``parent`` overrides the thread-stack parent for cross-thread
+        edges (pool workers nesting under a batch span).
+        """
+        return SpanHandle(self, name, parent, attrs)
+
+    def event(self, name: str, parent: ParentLike = None, **attrs: object) -> Span:
+        """Record an instant (zero-duration) event at the current time."""
+        now = self.clock.perf()
+        span = Span(
+            name=name,
+            start=now,
+            end=now,
+            span_id=self._allocate_id(),
+            parent_id=_resolve_parent(parent) if parent is not None else self._stack_top(),
+            thread=_thread_label(),
+            process=self.process,
+            attrs=dict(attrs),
+            instant=True,
+        )
+        self._buffer().append(span)
+        return span
+
+    def _begin(self, handle: SpanHandle) -> None:
+        handle.span_id = self._allocate_id()
+        stack = self._stack()
+        if handle.parent_id is None and stack:
+            handle.parent_id = stack[-1]
+        stack.append(handle.span_id)
+        handle.start = self.clock.perf()
+
+    def _finish(self, handle: SpanHandle) -> None:
+        end = self.clock.perf()
+        stack = self._stack()
+        if stack and stack[-1] == handle.span_id:
+            stack.pop()
+        elif handle.span_id in stack:  # tolerate mis-nested exits
+            stack.remove(handle.span_id)
+        self._buffer().append(
+            Span(
+                name=handle.name,
+                start=handle.start,
+                end=end,
+                span_id=handle.span_id,
+                parent_id=handle.parent_id,
+                thread=_thread_label(),
+                process=self.process,
+                attrs=handle.attrs,
+                instant=False,
+            )
+        )
+
+    def adopt(
+        self,
+        spans: Sequence[Span],
+        parent: ParentLike = None,
+        process: Optional[str] = None,
+    ) -> List[Span]:
+        """Graft spans recorded by another tracer into this one.
+
+        Ids are re-allocated (the shipper's id space is its own), parent
+        links inside the shipped set are remapped, and roots are
+        re-rooted under ``parent``.  Used by the process backend: the
+        batch tracer adopts each worker's flushed spans under the batch
+        span.  Returns the adopted copies.
+        """
+        parent_id = _resolve_parent(parent)
+        mapping: Dict[int, int] = {}
+        for span in spans:
+            mapping[span.span_id] = self._allocate_id()
+        adopted: List[Span] = []
+        for span in spans:
+            adopted.append(
+                Span(
+                    name=span.name,
+                    start=span.start,
+                    end=span.end,
+                    span_id=mapping[span.span_id],
+                    parent_id=mapping.get(span.parent_id, parent_id),
+                    thread=span.thread,
+                    process=span.process if process is None else process,
+                    attrs=dict(span.attrs),
+                    instant=span.instant,
+                )
+            )
+        buffer = self._buffer()
+        buffer.extend(adopted)
+        return adopted
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def spans(self) -> List[Span]:
+        """Merged snapshot of every thread's buffer, start-ordered."""
+        with self._lock:
+            merged = [span for buffer in self._buffers for span in buffer]
+        merged.sort(key=lambda s: (s.start, s.span_id))
+        return merged
+
+    def flush(self) -> List[Span]:
+        """Merged snapshot, clearing all buffers."""
+        with self._lock:
+            merged = [span for buffer in self._buffers for span in buffer]
+            for buffer in self._buffers:
+                del buffer[:]
+        merged.sort(key=lambda s: (s.start, s.span_id))
+        return merged
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        with self._lock:
+            for buffer in self._buffers:
+                del buffer[:]
+
+    # ------------------------------------------------------------------ #
+    # per-thread state
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _stack_top(self) -> Optional[int]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _buffer(self) -> List[Span]:
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            buffer = self._local.buffer = []
+            with self._lock:
+                self._buffers.append(buffer)
+        return buffer
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            allocated = self._next_id
+            self._next_id += 1
+        return allocated
+
+
+def _thread_label() -> str:
+    thread = threading.current_thread()
+    return f"{thread.name}@{thread.ident}"
+
+
+class _NullHandle:
+    """Shared no-op span handle — the whole disabled-tracer hot path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullHandle":
+        return self
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Disabled tracer: every call a constant-time no-op.
+
+    Instrumentation sites call straight through without checking a
+    flag; the only cost of a disabled span is one method call and the
+    kwargs dict the call site builds (measured <2% on the cold bench).
+    """
+
+    enabled = False
+    process = "null"
+
+    def span(self, name: str, parent: ParentLike = None, **attrs: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def event(self, name: str, parent: ParentLike = None, **attrs: object) -> None:
+        return None
+
+    def adopt(
+        self,
+        spans: Sequence[Span],
+        parent: ParentLike = None,
+        process: Optional[str] = None,
+    ) -> List[Span]:
+        return []
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def flush(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

@@ -37,7 +37,13 @@ from .passes import (
     Refine,
     Segment,
 )
-from .pipeline import Pipeline, build_pipeline, default_passes, finalize
+from .pipeline import (
+    Pipeline,
+    build_pipeline,
+    default_passes,
+    finalize,
+    instrumentation_stats,
+)
 
 __all__ = [
     "Allocate",
@@ -54,4 +60,5 @@ __all__ = [
     "build_pipeline",
     "default_passes",
     "finalize",
+    "instrumentation_stats",
 ]

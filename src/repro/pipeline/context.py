@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.cache import AllocationCache
+from ..obs import NULL_OBS
 from ..core.segmentation import (
     FlattenedUnit,
     NetworkSegmenter,
@@ -81,6 +82,10 @@ class PipelineContext:
     #: reuse across compiles; the segmentation passes thread it into
     #: their ``SegmentationOptions``.
     solve_memo: Optional[object] = None
+    #: Telemetry bundle (:class:`~repro.obs.Observability`).  Defaults to
+    #: the no-op :data:`~repro.obs.NULL_OBS`; the runner opens a span per
+    #: pass and the segmentation passes hand it to their segmenters.
+    obs: object = NULL_OBS
     compiler_name: str = "cmswitch"
 
     # Products of the passes.

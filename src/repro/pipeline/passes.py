@@ -118,6 +118,7 @@ class Segment(Pass):
             raise RuntimeError("Segment requires the PartitionOversized pass first")
         options = ctx.options.to_segmentation_options()
         options.solve_memo = ctx.solve_memo
+        options.obs = ctx.obs
         ctx.segmenter = NetworkSegmenter(ctx.hardware, options, cache=ctx.cache)
         if not ctx.units:
             ctx.result = SegmentationResult([], [], 0.0, 0, 0)
@@ -190,6 +191,7 @@ class FixedModeFallback(Pass):
         fixed_options = ctx.options.to_segmentation_options()
         fixed_options.allow_memory_mode = False
         fixed_options.solve_memo = ctx.solve_memo
+        fixed_options.obs = ctx.obs
         try:
             fixed_result = NetworkSegmenter(
                 ctx.hardware, fixed_options, cache=ctx.cache

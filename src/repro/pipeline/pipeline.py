@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.program import CompiledProgram
 from ..core.segmentation import NoFeasiblePlanError, plan_cost
+from ..obs import NULL_TRACER
 from .context import PipelineContext, TraceEvent
 from .passes import (
     Allocate,
@@ -38,7 +39,13 @@ from .passes import (
     Segment,
 )
 
-__all__ = ["Pipeline", "build_pipeline", "default_passes", "finalize"]
+__all__ = [
+    "Pipeline",
+    "build_pipeline",
+    "default_passes",
+    "finalize",
+    "instrumentation_stats",
+]
 
 #: Signature of a pipeline instrumentation hook.
 Hook = Callable[[TraceEvent, PipelineContext], None]
@@ -161,16 +168,22 @@ class Pipeline:
         """
         if not ctx.started:
             ctx.started = time.perf_counter()
-        for p in self._passes:
-            if not p.enabled(ctx):
-                self._emit(TraceEvent(p.name, "skip"), ctx)
-                continue
-            self._emit(TraceEvent(p.name, "start"), ctx)
-            began = time.perf_counter()
-            p.run(ctx)
-            elapsed = time.perf_counter() - began
-            ctx.pass_seconds[p.name] = elapsed
-            self._emit(TraceEvent(p.name, "end", elapsed), ctx)
+        tracer = getattr(ctx.obs, "tracer", NULL_TRACER)
+        with tracer.span(
+            "pipeline", graph=ctx.graph.name, compiler=ctx.compiler_name
+        ):
+            for p in self._passes:
+                if not p.enabled(ctx):
+                    self._emit(TraceEvent(p.name, "skip"), ctx)
+                    tracer.event(f"{p.name}:skip")
+                    continue
+                self._emit(TraceEvent(p.name, "start"), ctx)
+                with tracer.span(p.name, kind="pass"):
+                    began = time.perf_counter()
+                    p.run(ctx)
+                    elapsed = time.perf_counter() - began
+                ctx.pass_seconds[p.name] = elapsed
+                self._emit(TraceEvent(p.name, "end", elapsed), ctx)
         return ctx
 
 
@@ -199,6 +212,23 @@ def build_pipeline(hooks: Sequence[Hook] = ()) -> Pipeline:
     return Pipeline(default_passes(), hooks=hooks)
 
 
+def instrumentation_stats(ctx: PipelineContext) -> Dict[str, object]:
+    """The per-pass instrumentation block of ``CompiledProgram.stats``.
+
+    One shape for every pipeline finaliser — :func:`finalize` here and
+    the baselines' hand-assembled programs — so both the wall-time dict
+    *and* the ordered trace-event log survive into stats (the baselines
+    used to copy ``pass_seconds`` and silently drop the trace).
+    """
+    return {
+        "pass_seconds": dict(ctx.pass_seconds),
+        "pass_events": [
+            {"pass": event.pass_name, "kind": event.kind, "seconds": event.seconds}
+            for event in ctx.trace
+        ],
+    }
+
+
 def finalize(ctx: PipelineContext) -> CompiledProgram:
     """Assemble the :class:`CompiledProgram` from a finished context.
 
@@ -225,7 +255,7 @@ def finalize(ctx: PipelineContext) -> CompiledProgram:
     stats = {
         **ctx.stats_payload(),
         "wall_seconds": elapsed,
-        "pass_seconds": dict(ctx.pass_seconds),
+        **instrumentation_stats(ctx),
     }
     for key, value in ctx.extras.items():
         stats.setdefault(key, value)

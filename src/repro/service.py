@@ -56,6 +56,7 @@ from .core.cache import AllocationCache, CacheStats
 from .core.compiler import CMSwitchCompiler, CompilerOptions
 from .core.program import CompiledProgram
 from .core.store import DiskCacheStore
+from .obs import NULL_OBS, Observability, Span, Tracer
 from .hardware.deha import DualModeHardwareAbstraction
 from .hardware.presets import get_preset
 from .ir.graph import Graph
@@ -157,6 +158,11 @@ class CompileJobResult:
             hits, hit rate).  On failure this is usually empty, except
             for :class:`~repro.core.compiler.NoFeasiblePlanError`, whose
             pre-failure solver statistics are preserved.
+        spans: Telemetry spans recorded *in another process* for this
+            job (process backend with tracing on).  Thread-backend jobs
+            record straight into the service's tracer and leave this
+            empty.  Spans pickle bit-identically, so the batch tracer
+            can re-root them under its batch span via ``adopt``.
     """
 
     job: CompileJob
@@ -165,6 +171,7 @@ class CompileJobResult:
     error_traceback: Optional[str] = None
     wall_seconds: float = 0.0
     stats: Dict = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -217,6 +224,12 @@ class CompileService:
             see it and share through the disk store instead).  A DSE run
             passes its own memo here so neighbouring design points reuse
             allocation solves even when the service has no cache.
+        obs: Optional :class:`~repro.obs.Observability` bundle.  The
+            service opens a span per batch and per job (thread-backend
+            job spans nest under the batch span across pool threads;
+            process-backend workers trace locally and ship their spans
+            home for re-rooting) and threads the metrics registry into
+            the cache it creates.
     """
 
     def __init__(
@@ -227,6 +240,7 @@ class CompileService:
         backend: str = "thread",
         cache_dir: Optional[Union[str, Path]] = None,
         solve_memo=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -236,13 +250,18 @@ class CompileService:
                 "(attach a DiskCacheStore to the cache yourself to combine them)"
             )
         self.backend = backend
+        self.obs = NULL_OBS if obs is None else obs
         self.cache_dir = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
         if use_cache:
             if cache is None:
-                store = DiskCacheStore(self.cache_dir) if self.cache_dir else None
+                store = (
+                    DiskCacheStore(self.cache_dir, metrics=self.obs.metrics)
+                    if self.cache_dir
+                    else None
+                )
                 # `cache is not None`, not truthiness: an empty
                 # AllocationCache has len() == 0.
-                cache = AllocationCache(store=store)
+                cache = AllocationCache(store=store, metrics=self.obs.metrics)
             self.cache = cache
         else:
             self.cache = None
@@ -252,33 +271,44 @@ class CompileService:
     # ------------------------------------------------------------------ #
     # single job
     # ------------------------------------------------------------------ #
-    def compile(self, job: CompileJob) -> CompileJobResult:
-        """Compile one job, capturing any failure in the result."""
+    def compile(self, job: CompileJob, _parent=None) -> CompileJobResult:
+        """Compile one job, capturing any failure in the result.
+
+        ``_parent`` is an internal telemetry hook: batch runs pass their
+        batch span so pool-thread job spans nest under it.
+        """
         start = time.perf_counter()
-        try:
-            graph = job.resolve_graph()
-            hardware = job.resolve_hardware()
-            options = job.options or CompilerOptions(generate_code=False)
-            compiler = CMSwitchCompiler(
-                hardware, options, cache=self.cache, solve_memo=self.solve_memo
-            )
-            program = compiler.compile(graph)
-        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        with self.obs.tracer.span("compile", parent=_parent, job=job.name) as span:
+            try:
+                graph = job.resolve_graph()
+                hardware = job.resolve_hardware()
+                options = job.options or CompilerOptions(generate_code=False)
+                compiler = CMSwitchCompiler(
+                    hardware,
+                    options,
+                    cache=self.cache,
+                    solve_memo=self.solve_memo,
+                    obs=self.obs,
+                )
+                program = compiler.compile(graph)
+            except Exception as exc:  # noqa: BLE001 - isolation is the contract
+                span.set(ok=False)
+                return CompileJobResult(
+                    job=job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_traceback=traceback.format_exc(),
+                    wall_seconds=time.perf_counter() - start,
+                    # NoFeasiblePlanError carries the solver work done before
+                    # the failure; batch accounting must not drop it.
+                    stats=dict(getattr(exc, "stats", None) or {}),
+                )
+            span.set(ok=True)
             return CompileJobResult(
                 job=job,
-                error=f"{type(exc).__name__}: {exc}",
-                error_traceback=traceback.format_exc(),
+                program=program,
                 wall_seconds=time.perf_counter() - start,
-                # NoFeasiblePlanError carries the solver work done before
-                # the failure; batch accounting must not drop it.
-                stats=dict(getattr(exc, "stats", None) or {}),
+                stats=dict(program.stats),
             )
-        return CompileJobResult(
-            job=job,
-            program=program,
-            wall_seconds=time.perf_counter() - start,
-            stats=dict(program.stats),
-        )
 
     # ------------------------------------------------------------------ #
     # batches
@@ -307,15 +337,20 @@ class CompileService:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         workers = max_workers if max_workers is not None else self.max_workers
-        if backend == "process":
-            return self._compile_batch_processes(jobs, workers)
-        if (workers is not None and workers <= 1) or len(jobs) == 1:
-            return [self.compile(job) for job in jobs]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.compile, jobs))
+        with self.obs.tracer.span(
+            "compile_batch", jobs=len(jobs), backend=backend
+        ) as batch:
+            if backend == "process":
+                return self._compile_batch_processes(jobs, workers, batch)
+            if (workers is not None and workers <= 1) or len(jobs) == 1:
+                return [self.compile(job) for job in jobs]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda job: self.compile(job, _parent=batch), jobs)
+                )
 
     def _compile_batch_processes(
-        self, jobs: Sequence[CompileJob], workers: Optional[int]
+        self, jobs: Sequence[CompileJob], workers: Optional[int], batch_span=None
     ) -> List[CompileJobResult]:
         """Fan the batch out to a process pool (disk store shared, if any).
 
@@ -337,6 +372,7 @@ class CompileService:
                 **job.to_spec(),
                 "cache_dir": cache_dir,
                 "use_cache": self.cache is not None,
+                "trace": bool(self.obs.tracer.enabled),
             }
             for job in jobs
         ]
@@ -355,6 +391,10 @@ class CompileService:
                         error=f"{type(exc).__name__}: {exc}",
                         error_traceback=traceback.format_exc(),
                     )
+                if result.spans:
+                    # Worker-recorded spans: re-id into this tracer and
+                    # re-root under the batch span.
+                    self.obs.tracer.adopt(result.spans, parent=batch_span)
                 results.append(result)
         return results
 
@@ -406,8 +446,12 @@ def _compile_spec_in_worker(spec: Dict) -> CompileJobResult:
     """
     job = CompileJob.from_spec(spec)
     cache = _worker_cache(spec.get("cache_dir")) if spec.get("use_cache", True) else None
-    service = CompileService(cache=cache, use_cache=cache is not None)
-    return service.compile(job)
+    obs = Observability(tracer=Tracer()) if spec.get("trace") else None
+    service = CompileService(cache=cache, use_cache=cache is not None, obs=obs)
+    result = service.compile(job)
+    if obs is not None:
+        result.spans = obs.tracer.flush()
+    return result
 
 
 def compile_batch(

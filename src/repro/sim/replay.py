@@ -36,6 +36,7 @@ randomized schedules without ever invoking the compiler.
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -46,6 +47,7 @@ from ..cost.switching import mode_switch_cycles
 from ..hardware.deha import DualModeHardwareAbstraction
 from ..hardware.presets import get_preset
 from ..models.workload import workload_to_payload
+from ..obs import NULL_OBS, NULL_TRACER
 from ..service import CompileJob, CompileJobResult, CompileService
 from .metrics import ReplayMetrics, compute_metrics
 from .traces import Trace
@@ -129,6 +131,7 @@ def replay_schedule(
     items: Sequence[ScheduledRequest],
     switch_ms_between: Callable[[Optional[str], str], float],
     clock: Optional[ManualClock] = None,
+    tracer=None,
 ) -> List[RequestOutcome]:
     """Run the FIFO single-server event loop over pre-costed requests.
 
@@ -144,33 +147,51 @@ def replay_schedule(
     The loop advances ``clock`` (a fresh :class:`ManualClock` by
     default) in virtual milliseconds; the clock only ever moves forward,
     which is exactly the invariant ``ManualClock.advance`` enforces.
+
+    ``tracer`` (an optional :class:`~repro.obs.Tracer`) records a span
+    per request — wall-clock time of the event-loop step, with the
+    *virtual* arrival/start/finish times as attributes — and a
+    ``replay.switch`` instant event whenever a request pays a non-zero
+    re-provisioning cost.  The schedule itself is byte-identical with
+    and without a tracer.
     """
     clock = clock if clock is not None else ManualClock()
+    tracer = tracer if tracer is not None else NULL_TRACER
     outcomes: List[RequestOutcome] = []
     previous_key: Optional[str] = None
     for item in items:
-        if item.service_ms is None:
-            outcomes.append(
-                RequestOutcome(
-                    request_id=item.request_id,
-                    model=item.model,
-                    arrival_ms=item.arrival_ms,
-                    start_ms=item.arrival_ms,
-                    switch_ms=0.0,
-                    service_ms=0.0,
-                    finish_ms=item.arrival_ms,
-                    served=False,
-                    error=f"program {item.program_key!r} failed to compile",
+        with tracer.span(
+            "replay.request", request=item.request_id, model=item.model
+        ) as span:
+            if item.service_ms is None:
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=item.request_id,
+                        model=item.model,
+                        arrival_ms=item.arrival_ms,
+                        start_ms=item.arrival_ms,
+                        switch_ms=0.0,
+                        service_ms=0.0,
+                        finish_ms=item.arrival_ms,
+                        served=False,
+                        error=f"program {item.program_key!r} failed to compile",
+                    )
                 )
-            )
-            continue
-        if item.arrival_ms > clock.now():
-            clock.advance(item.arrival_ms - clock.now())  # server idles
-        start_ms = clock.now()
-        switch_ms = float(switch_ms_between(previous_key, item.program_key))
-        clock.advance(switch_ms + item.service_ms)
-        outcomes.append(
-            RequestOutcome(
+                span.set(served=False, arrival_ms=item.arrival_ms)
+                continue
+            if item.arrival_ms > clock.now():
+                clock.advance(item.arrival_ms - clock.now())  # server idles
+            start_ms = clock.now()
+            switch_ms = float(switch_ms_between(previous_key, item.program_key))
+            if switch_ms > 0.0:
+                tracer.event(
+                    "replay.switch",
+                    switch_ms=switch_ms,
+                    previous=previous_key,
+                    program=item.program_key,
+                )
+            clock.advance(switch_ms + item.service_ms)
+            outcome = RequestOutcome(
                 request_id=item.request_id,
                 model=item.model,
                 arrival_ms=item.arrival_ms,
@@ -180,8 +201,16 @@ def replay_schedule(
                 finish_ms=clock.now(),
                 served=True,
             )
-        )
-        previous_key = item.program_key
+            outcomes.append(outcome)
+            span.set(
+                served=True,
+                arrival_ms=item.arrival_ms,
+                start_ms=start_ms,
+                finish_ms=outcome.finish_ms,
+                switch_ms=switch_ms,
+                latency_ms=outcome.latency_ms,
+            )
+            previous_key = item.program_key
     return outcomes
 
 
@@ -277,6 +306,11 @@ class ReplaySimulator:
             generation is forced off — replay only consumes predicted
             timings, and generating code for every distinct workload
             would slow the pool down for nothing.
+        obs: Optional :class:`~repro.obs.Observability` bundle; replay
+            records a span per served request, ``replay.switch`` instant
+            events, a ``replay.queue_depth`` histogram and drop/switch
+            counters.  A private service created here inherits the
+            bundle (a caller-supplied ``service`` keeps its own).
     """
 
     def __init__(
@@ -284,11 +318,15 @@ class ReplaySimulator:
         hardware: Union[str, DualModeHardwareAbstraction] = "dynaplasia",
         service: Optional[CompileService] = None,
         options: Optional[CompilerOptions] = None,
+        obs=None,
     ) -> None:
         self.hardware = (
             get_preset(hardware) if isinstance(hardware, str) else hardware
         )
-        self.service = service if service is not None else CompileService()
+        self.obs = NULL_OBS if obs is None else obs
+        self.service = (
+            service if service is not None else CompileService(obs=self.obs)
+        )
         base = options if options is not None else CompilerOptions()
         if base.generate_code:
             base = dataclasses_replace(base, generate_code=False)
@@ -319,7 +357,8 @@ class ReplaySimulator:
     # ------------------------------------------------------------------ #
     def run(self, trace: Trace) -> ReplayResult:
         """Compile the trace's program pool and replay it over virtual time."""
-        pool = self.compile_pool(trace)
+        with self.obs.tracer.span("replay.compile_pool", requests=len(trace)):
+            pool = self.compile_pool(trace)
         programs: Dict[str, CompiledProgram] = {
             key: result.program for key, result in pool.items() if result.ok
         }
@@ -336,7 +375,13 @@ class ReplaySimulator:
             for request in trace.requests
             for key in [_program_key(request.model, request.workload)]
         ]
-        outcomes = replay_schedule(items, self._switch_ms_between(programs))
+        with self.obs.tracer.span("replay.schedule", requests=len(items)):
+            outcomes = replay_schedule(
+                items,
+                self._switch_ms_between(programs),
+                tracer=self.obs.tracer,
+            )
+        self._observe(items, outcomes)
 
         def stats_sum(name: str) -> int:
             return sum(int(result.stats.get(name, 0)) for result in pool.values())
@@ -356,6 +401,34 @@ class ReplaySimulator:
                 if not result.ok
             },
         )
+
+    def _observe(
+        self,
+        items: Sequence[ScheduledRequest],
+        outcomes: Sequence[RequestOutcome],
+    ) -> None:
+        """Mirror one replay's outcomes into the metrics registry.
+
+        Queue depth is measured at each served request's start: the
+        number of later requests already arrived but still waiting
+        (``arrival_ms <= start_ms``).  Arrivals are sorted (a
+        :class:`~repro.sim.traces.Trace` invariant), so a single
+        ``bisect`` per request suffices.
+        """
+        metrics = self.obs.metrics
+        if not getattr(metrics, "enabled", False):
+            return
+        arrivals = [item.arrival_ms for item in items]
+        for index, outcome in enumerate(outcomes):
+            metrics.inc("replay.requests")
+            if not outcome.served:
+                metrics.inc("replay.dropped")
+                continue
+            if outcome.switch_ms > 0.0:
+                metrics.inc("replay.switches")
+            depth = bisect_right(arrivals, outcome.start_ms) - (index + 1)
+            metrics.observe("replay.queue_depth", max(0, depth))
+            metrics.observe("replay.latency_ms", outcome.latency_ms)
 
     def _switch_ms_between(
         self, programs: Dict[str, CompiledProgram]
