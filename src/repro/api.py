@@ -23,10 +23,10 @@ Usage::
 
     from repro.api import Session
 
-    session = Session(hardware="dynaplasia", cache_dir="~/.cache/repro")
-    program = session.compile("resnet18")
-    results = session.compile_batch(["bert", "vgg16"])
-    sweep = session.explore(space, strategy="greedy", budget=16)
+    with Session(hardware="dynaplasia", cache_dir="~/.cache/repro") as session:
+        program = session.compile("resnet18")
+        results = session.compile_batch(["bert", "vgg16"])
+        sweep = session.explore(space, strategy="greedy", budget=16)
 
 The historical entry points remain as deprecation shims over a session
 and produce bit-identical programs (asserted in CI).
@@ -85,6 +85,13 @@ class Session:
         cache_dir: Directory of a persistent
             :class:`~repro.core.store.DiskCacheStore`; later sessions
             and worker processes warm-start from it.
+        remote_cache: URL of a ``repro cache-server`` (or a constructed
+            :class:`~repro.serve.remote.RemoteCacheStore`) — the
+            networked third cache tier.  Lookups cascade memory → disk
+            → remote; remote hits are promoted into the local tiers and
+            fresh solves written through, so sessions on different
+            machines share allocator solves.  An unreachable server
+            degrades to cold compiles, never errors.
         backend: ``"thread"`` (default) or ``"process"`` — see
             :class:`CompileService` for the sharing contract.
         max_workers: Default pool width for batches.
@@ -105,6 +112,7 @@ class Session:
         options: Optional[CompilerOptions] = None,
         cache: Optional[AllocationCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        remote_cache: Optional[Union[str, object]] = None,
         backend: str = "thread",
         max_workers: Optional[int] = None,
         use_cache: bool = True,
@@ -136,11 +144,30 @@ class Session:
         self.service = CompileService(
             cache=cache,
             cache_dir=cache_dir,
+            remote_cache=remote_cache,
             backend=backend,
             max_workers=max_workers,
             use_cache=use_cache,
             obs=self.obs,
         )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release held connections (the remote cache tier's sockets).
+
+        Idempotent; a closed session remains usable — the remote client
+        reconnects on the next lookup — so ``close()`` is about returning
+        sockets promptly, not about invalidating the session.
+        """
+        self.service.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # single compile

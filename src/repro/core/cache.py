@@ -27,7 +27,12 @@ solves *across* segmentation runs, compilers and even compile requests:
   :class:`~repro.core.store.DiskCacheStore` — persists entries across
   processes: memory misses fall through to disk, disk hits are promoted
   into memory, and fresh solves are written through, so a cold process
-  pointed at a warmed cache directory compiles with zero solver calls.
+  pointed at a warmed cache directory compiles with zero solver calls;
+* an optional third tier — a
+  :class:`~repro.serve.remote.RemoteCacheStore` pointed at a
+  ``repro cache-server`` — shares entries across *machines*: lookups
+  cascade memory → disk → remote, remote hits are promoted into both
+  local tiers, and fresh solves are written through to all of them.
 
 Usage::
 
@@ -239,12 +244,15 @@ class CacheStats:
     """Counters of one :class:`AllocationCache`.
 
     Attributes:
-        hits: Lookups served from the cache (cross-mode and disk hits
-            included).
+        hits: Lookups served from the cache (cross-mode, disk and remote
+            hits included).
         cross_mode_hits: Fixed-mode lookups served by a memory-free
             dual-mode entry.
         disk_hits: Lookups that missed in memory but were served by the
             persistent second tier (and promoted into memory).
+        remote_hits: Lookups that missed both local tiers but were
+            served by the networked third tier (and promoted into both
+            local tiers).
         misses: Lookups that required a fresh solve.
         stores: Entries written.
         evictions: Entries dropped by the LRU bound.
@@ -253,6 +261,7 @@ class CacheStats:
     hits: int = 0
     cross_mode_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
@@ -274,6 +283,7 @@ class CacheStats:
             hits=self.hits,
             cross_mode_hits=self.cross_mode_hits,
             disk_hits=self.disk_hits,
+            remote_hits=self.remote_hits,
             misses=self.misses,
             stores=self.stores,
             evictions=self.evictions,
@@ -285,6 +295,7 @@ class CacheStats:
             "hits": self.hits,
             "cross_mode_hits": self.cross_mode_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
@@ -323,22 +334,33 @@ class AllocationCache:
         store: Optional persistent second tier.  Memory misses fall
             through to it, its hits are promoted into memory, and fresh
             solves are written through to it.
+        remote: Optional networked third tier — anything with the
+            ``get(key) -> Optional[CacheEntry]`` / ``put(key, entry)``
+            shape of :class:`~repro.serve.remote.RemoteCacheStore`.
+            Probed only after both local tiers miss; its hits are
+            promoted into memory *and* the disk tier, and fresh solves
+            are written through to it.  A remote tier must never raise
+            from ``get``/``put`` (the remote client maps every network
+            or verification failure to a miss), so a dead or poisoned
+            cache server degrades to cold compiles, not errors.
         metrics: Optional :class:`~repro.obs.MetricsRegistry`.  Tier
             counters are *mirrored* into it under ``cache.memory.*`` /
-            ``cache.disk.*`` names; ``self.stats`` stays the exact,
-            bit-compatible source of truth either way.
+            ``cache.disk.*`` / ``cache.remote.*`` names; ``self.stats``
+            stays the exact, bit-compatible source of truth either way.
     """
 
     def __init__(
         self,
         max_entries: int = 4096,
         store: Optional[DiskCacheStore] = None,
+        remote: Optional[object] = None,
         metrics: Optional[object] = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.store = store
+        self.remote = remote
         self._entries: "OrderedDict[AllocationCacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -366,13 +388,15 @@ class AllocationCache:
     ) -> Optional[AllocationResult]:
         """Return a cached result for ``key``, or None on a miss.
 
-        The lookup cascades through both tiers: exact in-memory entry,
+        The lookup cascades through the tiers: exact in-memory entry,
         cross-mode in-memory entry, then (with a ``store`` attached) the
-        same two probes against the disk tier, promoting any disk hit
-        into memory.  A fixed-mode lookup's cross-mode probe reuses the
-        dual-mode entry of the same key only when that entry allocates no
-        memory-mode arrays (then it lies inside the fixed-mode space and
-        is exact for it).  ``names`` labels the returned allocations.
+        same two probes against the disk tier, then (with a ``remote``
+        attached) against the networked tier — promoting any lower-tier
+        hit into every tier above it.  A fixed-mode lookup's cross-mode
+        probe reuses the dual-mode entry of the same key only when that
+        entry allocates no memory-mode arrays (then it lies inside the
+        fixed-mode space and is exact for it).  ``names`` labels the
+        returned allocations.
         """
         with self._lock:
             entry, hit_key, cross_mode = self._memory_probe(key)
@@ -395,6 +419,25 @@ class AllocationCache:
                     if cross_mode:
                         self.stats.cross_mode_hits += 1
                 self.metrics.inc("cache.disk.hits")
+                return entry.to_result(names, from_disk=True)
+        if self.remote is not None:
+            # Remote probes also run outside the lock — a slow or dead
+            # network must not serialise the compile threads either.
+            entry, hit_key, cross_mode = self._remote_probe(key)
+            if entry is not None:
+                with self._lock:
+                    self._insert(hit_key, entry)
+                    self.stats.hits += 1
+                    self.stats.remote_hits += 1
+                    if cross_mode:
+                        self.stats.cross_mode_hits += 1
+                self.metrics.inc("cache.remote.hits")
+                if self.store is not None:
+                    # Promote into the disk tier too: the *next* process
+                    # on this machine should not need the network.
+                    self.store.put(hit_key, entry)
+                # from_disk marks the hit as served by a persistent tier,
+                # so per-job statistics count it exactly like a disk hit.
                 return entry.to_result(names, from_disk=True)
         with self._lock:
             self.stats.misses += 1
@@ -429,6 +472,20 @@ class AllocationCache:
                 return dual_entry, dual_key, True
         return None, key, False
 
+    def _remote_probe(
+        self, key: AllocationCacheKey
+    ) -> Tuple[Optional[CacheEntry], AllocationCacheKey, bool]:
+        """Exact + cross-mode probe of the networked tier (no lock)."""
+        entry = self.remote.get(key)
+        if entry is not None:
+            return entry, key, False
+        if not key.allow_memory_mode:
+            dual_key = key.dual_mode_variant()
+            dual_entry = self.remote.get(dual_key)
+            if dual_entry is not None and dual_entry.memory_free:
+                return dual_entry, dual_key, True
+        return None, key, False
+
     def _insert(self, key: AllocationCacheKey, entry: CacheEntry) -> None:
         """Insert into the in-memory LRU, evicting past capacity (lock held)."""
         self._entries[key] = entry
@@ -446,7 +503,8 @@ class AllocationCache:
         """Store the outcome of a fresh solve under ``key``.
 
         The entry lands in the in-memory tier immediately and is written
-        through to the persistent tier (when attached) outside the lock.
+        through to the persistent and networked tiers (when attached)
+        outside the lock.
         """
         allocations = tuple(
             (result.allocations[name].compute_arrays, result.allocations[name].memory_arrays)
@@ -467,6 +525,8 @@ class AllocationCache:
         self.metrics.inc("cache.stores")
         if self.store is not None:
             self.store.put(key, entry)
+        if self.remote is not None:
+            self.remote.put(key, entry)
 
     # ------------------------------------------------------------------ #
     # segment-level convenience wrappers

@@ -1,0 +1,477 @@
+"""The compile daemon: ``Session`` promoted to a long-lived process.
+
+:class:`CompileDaemon` is the front door of the serving tier — a
+stdlib-only threaded HTTP/JSON server over one shared
+:class:`~repro.service.CompileService`:
+
+* **Bounded admission.**  Requests land on a bounded work queue served
+  by a fixed worker pool; when the queue is full the daemon answers a
+  structured 503 immediately instead of stacking threads.  The accept
+  loop itself (``ThreadingHTTPServer``) only parses, validates and
+  waits — compiles never run on connection threads.
+* **In-flight coalescing.**  Requests are keyed by
+  :func:`~repro.serve.wire.request_fingerprint` (graph identity × DEHA
+  fingerprint × options — the same inputs that determine
+  :meth:`CompiledProgram.fingerprint`); concurrent identical requests
+  share one compile through :class:`~repro.serve.SingleFlight`.  Every
+  waiter is bounded by ``wait_timeout`` (structured 504 on expiry), so
+  a slow compile can never wedge the accept loop.
+* **Warmth at every tier.**  The service's cache composes memory, an
+  optional disk directory and an optional remote cache server
+  (``remote_cache=``), so the daemon both serves *from* and feeds
+  *into* fleet-wide warmth.
+* **Observability.**  Per-request spans (``serve.request``) and
+  counters flow through :mod:`repro.obs`; ``GET /metrics`` exposes
+  them, the coalescing counters and the cache tiers in a text format,
+  ``GET /v1/cache/stats`` in JSON.
+
+Endpoints (all JSON, versioned via ``wire_version``):
+
+* ``POST /v1/compile`` — one job in, one compiled program out.
+* ``POST /v1/compile_batch`` — many jobs in, per-job outcomes out
+  (failures isolated per job, mirroring :meth:`CompileService.compile_batch`).
+* ``GET /v1/cache/stats`` — cache/tier counters.
+* ``GET /healthz`` — liveness.
+* ``GET /metrics`` — text metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import threading
+from typing import Dict, List, Optional, Union
+
+from ..core.compiler import CompilerOptions
+from ..models.registry import list_models
+from ..obs import Observability
+from ..service import CompileJob, CompileJobResult, CompileService
+from .coalesce import CoalesceTimeout, SingleFlight
+from .httpbase import QuietHandler, ServingHTTPServer, read_body, respond_json, respond_text
+from .wire import (
+    WIRE_VERSION,
+    WireFormatError,
+    error_payload,
+    job_from_wire,
+    program_to_wire,
+    request_fingerprint,
+)
+
+__all__ = ["CompileDaemon"]
+
+LOGGER = logging.getLogger("repro")
+
+#: Default bound on queued-but-not-yet-compiling requests.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Default per-waiter bound (seconds) on coalesced/queued waits.
+DEFAULT_WAIT_TIMEOUT = 300.0
+
+
+class _QueueFull(Exception):
+    """Internal: admission refused because the work queue is at its bound."""
+
+
+class CompileDaemon:
+    """Long-lived compile server over one shared :class:`CompileService`.
+
+    Args:
+        cache_dir: Optional persistent disk tier for the allocation
+            cache (shared with every other process mounting it).
+        remote_cache: Optional URL of a ``repro cache-server`` — the
+            networked third cache tier.
+        workers: Compile worker threads (the pool that executes jobs;
+            connection threads only wait).
+        queue_limit: Bound on jobs admitted but not yet compiling;
+            beyond it requests get a structured 503.
+        wait_timeout: Per-request bound in seconds on waiting for a
+            result (queued or coalesced); expiry answers 504 while the
+            compile itself keeps running for later requests.
+        host: Bind address (loopback by default).
+        port: TCP port; 0 picks an ephemeral one (see ``bound_port``).
+        obs: Optional :class:`~repro.obs.Observability` bundle; the
+            daemon creates an enabled one by default so ``/metrics``
+            always has data.
+        use_cache: Disable the allocation cache entirely (A/B timing).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        remote_cache: Optional[str] = None,
+        workers: int = 2,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        obs: Optional[Observability] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.obs = obs if obs is not None else Observability.create()
+        self.service = CompileService(
+            cache_dir=cache_dir,
+            remote_cache=remote_cache,
+            use_cache=use_cache,
+            obs=self.obs,
+        )
+        #: Options the service substitutes for ``options=None`` — also
+        #: what the coalescing fingerprint folds omitted options onto.
+        self.default_options = CompilerOptions(generate_code=False)
+        self.wait_timeout = wait_timeout
+        self.flights = SingleFlight()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "compiles_executed": 0,
+            "compile_failures": 0,
+            "coalesced_hits": 0,
+            "queue_rejections": 0,
+            "wait_timeouts": 0,
+            "bad_requests": 0,
+            "solves_executed": 0,
+        }
+        self._counters_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._workers: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+        daemon = self
+
+        class Handler(QuietHandler):
+            server_version = "repro-serve"
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+                daemon._handle_get(self)
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+                daemon._handle_post(self)
+
+        self.httpd = ServingHTTPServer((host, port), Handler)
+        self.host = host
+
+    # ------------------------------------------------------------------ #
+    # counters
+    # ------------------------------------------------------------------ #
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[counter] += amount
+        self.obs.metrics.inc(f"serve.{counter}", amount)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the daemon's own counters."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    @property
+    def bound_port(self) -> int:
+        """The actual TCP port (meaningful when constructed with port 0)."""
+        return self.httpd.bound_port
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.bound_port}"
+
+    # ------------------------------------------------------------------ #
+    # worker pool
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:  # drain sentinel
+                self._queue.task_done()
+                return
+            job, flight = item
+            try:
+                result = self.service.compile(job)
+            except BaseException as exc:  # noqa: BLE001 - must settle the flight
+                self.flights.finish(flight, error=exc)
+                self._queue.task_done()
+                continue
+            self._bump("compiles_executed")
+            self._bump("solves_executed", int(result.stats.get("allocator_solves", 0)))
+            if not result.ok:
+                self._bump("compile_failures")
+            self.flights.finish(flight, value=result)
+            self._queue.task_done()
+
+    def _submit(self, job: CompileJob, fingerprint: str):
+        """Admit one job: join an in-flight compile or queue a fresh one.
+
+        Returns:
+            ``(flight, coalesced)``.
+
+        Raises:
+            _QueueFull: The work queue is at its bound (only possible
+                for would-be leaders; followers always join).
+        """
+        flight, leader = self.flights.begin(fingerprint)
+        if not leader:
+            self._bump("coalesced_hits")
+            return flight, True
+        try:
+            self._queue.put_nowait((job, flight))
+        except queue.Full:
+            error = _QueueFull(f"work queue is full ({self._queue.maxsize} pending)")
+            self.flights.finish(flight, error=error)
+            self._bump("queue_rejections")
+            raise error from None
+        return flight, False
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def _parse_job(self, payload) -> CompileJob:
+        """Wire payload → validated job (raises WireFormatError)."""
+        job = job_from_wire(payload)
+        if isinstance(job.model, str) and job.model not in set(list_models()):
+            raise WireFormatError(
+                f"unknown model {job.model!r}; registered models: "
+                + ", ".join(list_models())
+            )
+        return job
+
+    def _result_payload(self, result: CompileJobResult, coalesced: bool) -> Dict:
+        """One job outcome as a wire document (success or compile failure)."""
+        if result.ok:
+            wire_program = program_to_wire(result.program)
+            return {
+                "wire_version": WIRE_VERSION,
+                "ok": True,
+                "coalesced": coalesced,
+                "fingerprint": result.program.fingerprint(),
+                "wall_seconds": result.wall_seconds,
+                "stats": wire_program.get("stats") or {},
+                "program": wire_program,
+            }
+        body = error_payload(
+            "compile_failed",
+            result.error or "compile failed",
+            stats={k: v for k, v in result.stats.items() if isinstance(v, (int, float, str))},
+        )
+        body["ok"] = False
+        body["coalesced"] = coalesced
+        return body
+
+    def _compile_one(self, payload) -> Dict:
+        """The whole /v1/compile flow for one already-parsed job payload.
+
+        Returns the response document; raises ``_QueueFull`` /
+        ``CoalesceTimeout`` / ``WireFormatError`` for the transport layer
+        to turn into status codes.
+        """
+        job = self._parse_job(payload)
+        fingerprint = request_fingerprint(job, default_options=self.default_options)
+        with self.obs.tracer.span(
+            "serve.request", job=job.name, fingerprint=fingerprint[:12]
+        ) as span:
+            flight, coalesced = self._submit(job, fingerprint)
+            result = self.flights.wait(flight, timeout=self.wait_timeout)
+            span.set(coalesced=coalesced, ok=result.ok)
+        return self._result_payload(result, coalesced)
+
+    def _handle_post(self, handler: QuietHandler) -> None:
+        if handler.path not in ("/v1/compile", "/v1/compile_batch"):
+            respond_json(handler, 404, error_payload("not_found", handler.path))
+            return
+        if self._draining.is_set():
+            respond_json(
+                handler, 503, error_payload("draining", "daemon is shutting down")
+            )
+            return
+        self._bump("requests")
+        body, failure = read_body(handler)
+        if failure is not None:
+            status, message = failure
+            self._bump("bad_requests")
+            respond_json(handler, status, error_payload("bad_request", message))
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            self._bump("bad_requests")
+            respond_json(
+                handler, 400, error_payload("bad_request", f"invalid JSON body: {exc}")
+            )
+            return
+        try:
+            if handler.path == "/v1/compile":
+                self._handle_compile(handler, payload)
+            else:
+                self._handle_compile_batch(handler, payload)
+        except WireFormatError as exc:
+            self._bump("bad_requests")
+            respond_json(handler, 400, error_payload("bad_request", str(exc)))
+        except _QueueFull as exc:
+            respond_json(handler, 503, error_payload("queue_full", str(exc)))
+        except CoalesceTimeout as exc:
+            self._bump("wait_timeouts")
+            respond_json(handler, 504, error_payload("timeout", str(exc)))
+
+    def _handle_compile(self, handler: QuietHandler, payload) -> None:
+        from .wire import check_version
+
+        check_version(payload, "compile request")
+        job_payload = payload.get("job", payload)
+        document = self._compile_one(job_payload)
+        respond_json(handler, 200 if document.get("ok") else 422, document)
+
+    def _handle_compile_batch(self, handler: QuietHandler, payload) -> None:
+        from .wire import check_version
+
+        check_version(payload, "compile_batch request")
+        jobs_payload = payload.get("jobs")
+        if not isinstance(jobs_payload, list) or not jobs_payload:
+            raise WireFormatError("'jobs' must be a non-empty array of compile jobs")
+        # Admit every job first (identical jobs inside one batch coalesce
+        # onto one flight too), then wait; a malformed or refused job
+        # fails only its own slot, mirroring CompileService's isolation.
+        admissions: List = []
+        for job_payload in jobs_payload:
+            try:
+                job = self._parse_job(job_payload)
+                fingerprint = request_fingerprint(job, default_options=self.default_options)
+                flight, coalesced = self._submit(job, fingerprint)
+                admissions.append(("flight", flight, coalesced))
+            except WireFormatError as exc:
+                self._bump("bad_requests")
+                admissions.append(("error", error_payload("bad_request", str(exc)), False))
+            except _QueueFull as exc:
+                admissions.append(("error", error_payload("queue_full", str(exc)), False))
+        results: List[Dict] = []
+        for kind, value, coalesced in admissions:
+            if kind == "error":
+                value = dict(value)
+                value["ok"] = False
+                results.append(value)
+                continue
+            try:
+                result = self.flights.wait(value, timeout=self.wait_timeout)
+            except CoalesceTimeout as exc:
+                self._bump("wait_timeouts")
+                timeout_doc = error_payload("timeout", str(exc))
+                timeout_doc["ok"] = False
+                results.append(timeout_doc)
+                continue
+            results.append(self._result_payload(result, coalesced))
+        respond_json(
+            handler,
+            200,
+            {"wire_version": WIRE_VERSION, "results": results},
+        )
+
+    def _handle_get(self, handler: QuietHandler) -> None:
+        if handler.path == "/healthz":
+            respond_json(
+                handler,
+                200,
+                {
+                    "status": "draining" if self._draining.is_set() else "ok",
+                    "role": "compile-daemon",
+                    "queue_depth": self._queue.qsize(),
+                },
+            )
+            return
+        if handler.path == "/v1/cache/stats":
+            respond_json(handler, 200, self.cache_stats_payload())
+            return
+        if handler.path == "/metrics":
+            respond_text(handler, 200, self.render_metrics())
+            return
+        respond_json(handler, 404, error_payload("not_found", handler.path))
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats_payload(self) -> Dict:
+        """JSON document of every cache tier's counters."""
+        payload: Dict = {
+            "wire_version": WIRE_VERSION,
+            "serve": self.counters(),
+            "coalescing": {
+                "flights_started": self.flights.started,
+                "coalesced_waits": self.flights.coalesced,
+                "in_flight": len(self.flights),
+            },
+        }
+        cache = self.service.cache
+        if cache is not None:
+            payload["cache"] = cache.stats.snapshot().to_dict()
+            if cache.store is not None:
+                payload["disk"] = cache.store.stats.snapshot().to_dict()
+            if cache.remote is not None:
+                payload["remote"] = cache.remote.stats.snapshot().to_dict()
+        return payload
+
+    def render_metrics(self) -> str:
+        """Text exposition: daemon, coalescing and cache-tier counters."""
+        lines = [
+            f"serve_{name} {value}" for name, value in sorted(self.counters().items())
+        ]
+        lines.append(f"serve_queue_depth {self._queue.qsize()}")
+        lines.append(f"serve_flights_started {self.flights.started}")
+        lines.append(f"serve_coalesced_waits {self.flights.coalesced}")
+        cache = self.service.cache
+        if cache is not None:
+            for name, value in sorted(cache.stats.snapshot().to_dict().items()):
+                lines.append(f"cache_{name} {value:g}" if isinstance(value, float) else f"cache_{name} {value}")
+            if cache.store is not None:
+                for name, value in sorted(cache.store.stats.snapshot().to_dict().items()):
+                    lines.append(f"cache_disk_{name} {value}")
+            if cache.remote is not None:
+                for name, value in sorted(cache.remote.stats.snapshot().to_dict().items()):
+                    lines.append(f"cache_remote_{name} {value}")
+        snapshot = self.obs.metrics.to_dict() if hasattr(self.obs.metrics, "to_dict") else {}
+        for name, value in (snapshot.get("counters") or {}).items():
+            lines.append(f"obs_{name.replace('.', '_')} {value}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` is called."""
+        LOGGER.info(
+            "compile daemon: %s (workers=%d, queue<=%d, cache=%s, remote=%s)",
+            self.url,
+            len(self._workers),
+            self._queue.maxsize,
+            self.service.cache_dir or "in-memory",
+            getattr(self.service.remote_cache, "url", None) or "off",
+        )
+        self.httpd.serve_forever()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests and embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting, optionally drain queued work, release the port.
+
+        With ``drain`` (the default — what SIGTERM does via the CLI):
+        new requests are refused with a structured 503, every job
+        already admitted runs to completion and settles its waiters,
+        the worker pool exits, and only then does the socket close.
+        Idempotent.
+        """
+        self._draining.set()
+        if drain:
+            for _ in self._workers:
+                self._queue.put(None)
+            for thread in self._workers:
+                thread.join(timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.close()

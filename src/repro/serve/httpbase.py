@@ -1,0 +1,126 @@
+"""Shared stdlib-only HTTP plumbing of the serving tier.
+
+Both servers in this package — the compile daemon and the cache server
+— are built on ``http.server.ThreadingHTTPServer`` (one thread per
+connection, no third-party dependencies) with the same conventions:
+
+* HTTP/1.1 with explicit ``Content-Length`` on every response, so
+  clients can keep connections alive;
+* JSON responses via :func:`respond_json`, structured errors via
+  :func:`repro.serve.wire.error_payload`;
+* request bodies are size-bounded (:func:`read_body`) — an oversized or
+  length-less request is refused before any work happens;
+* access logging goes to the ``repro`` logger at DEBUG (the CLI's
+  ``-vv``), never to stderr on its own.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+__all__ = [
+    "QuietHandler",
+    "ServingHTTPServer",
+    "read_body",
+    "respond_json",
+    "respond_text",
+]
+
+LOGGER = logging.getLogger("repro")
+
+#: Request bodies above this are refused with 413 (a compile job — even
+#: a large serialised graph — is far below it; this is a safety bound,
+#: not a tuning knob).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server preconfigured for the serving tier.
+
+    ``daemon_threads`` so a shutdown never hangs on a stuck connection
+    thread; ``allow_reuse_address`` so restarts do not trip over
+    TIME_WAIT sockets.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (meaningful after binding with port 0)."""
+        return self.server_address[1]
+
+
+class QuietHandler(BaseHTTPRequestHandler):
+    """Request handler base: HTTP/1.1, logging routed to the repro logger."""
+
+    protocol_version = "HTTP/1.1"
+    #: Overridden by servers to show up in the Server response header.
+    server_version = "repro-serve"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        LOGGER.debug("%s - %s", self.address_string(), format % args)
+
+    def log_error(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        LOGGER.debug("%s - error - %s", self.address_string(), format % args)
+
+
+def respond_json(handler: BaseHTTPRequestHandler, status: int, payload) -> None:
+    """Send ``payload`` as a JSON response with an exact Content-Length."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    handler.send_response(status)
+    handler.send_header("Content-Type", "application/json")
+    handler.send_header("Content-Length", str(len(body)))
+    handler.end_headers()
+    try:
+        handler.wfile.write(body)
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # the client hung up; nothing to clean up server-side
+
+
+def respond_text(
+    handler: BaseHTTPRequestHandler,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+) -> None:
+    """Send a plain-text response (the ``/metrics`` endpoints use this)."""
+    body = text.encode("utf-8")
+    handler.send_response(status)
+    handler.send_header("Content-Type", content_type)
+    handler.send_header("Content-Length", str(len(body)))
+    handler.end_headers()
+    try:
+        handler.wfile.write(body)
+    except (BrokenPipeError, ConnectionResetError):
+        pass
+
+
+def read_body(
+    handler: BaseHTTPRequestHandler, max_bytes: int = MAX_BODY_BYTES
+) -> Tuple[Optional[bytes], Optional[Tuple[int, str]]]:
+    """Read the request body, enforcing presence and size of Content-Length.
+
+    Returns:
+        ``(body, None)`` on success, ``(None, (status, message))`` when
+        the request must be refused (411 without a length, 413 over the
+        bound, 400 on a short read).
+    """
+    length_header = handler.headers.get("Content-Length")
+    if length_header is None:
+        return None, (411, "Content-Length is required")
+    try:
+        length = int(length_header)
+    except ValueError:
+        return None, (400, f"invalid Content-Length {length_header!r}")
+    if length < 0:
+        return None, (400, f"invalid Content-Length {length}")
+    if length > max_bytes:
+        return None, (413, f"request body of {length} bytes exceeds {max_bytes}")
+    body = handler.rfile.read(length)
+    if len(body) != length:
+        return None, (400, "request body shorter than Content-Length")
+    return body, None

@@ -50,7 +50,7 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .core.cache import AllocationCache, CacheStats
 from .core.compiler import CMSwitchCompiler, CompilerOptions
@@ -218,6 +218,15 @@ class CompileService:
         cache_dir: Directory of a persistent
             :class:`~repro.core.store.DiskCacheStore` shared across
             threads, worker processes and future invocations.
+        remote_cache: Networked third cache tier — the URL of a
+            ``repro cache-server`` (a
+            :class:`~repro.serve.remote.RemoteCacheStore` is built from
+            it) or an already-constructed store object.  Lookups cascade
+            memory → disk → remote; remote hits are promoted into the
+            local tiers and fresh solves written through, so a fleet of
+            services sharing one cache server solves each segment once
+            *across machines*.  A dead server degrades to cold compiles,
+            never errors.
         solve_memo: Optional per-run
             :class:`~repro.core.memo.SolveMemo` shared by every compile
             the service performs (thread backend; process workers cannot
@@ -239,6 +248,7 @@ class CompileService:
         use_cache: bool = True,
         backend: str = "thread",
         cache_dir: Optional[Union[str, Path]] = None,
+        remote_cache: Optional[Union[str, object]] = None,
         solve_memo=None,
         obs: Optional[Observability] = None,
     ) -> None:
@@ -252,6 +262,12 @@ class CompileService:
         self.backend = backend
         self.obs = NULL_OBS if obs is None else obs
         self.cache_dir = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
+        if isinstance(remote_cache, str):
+            # Deferred import: repro.serve sits above this module.
+            from .serve.remote import RemoteCacheStore
+
+            remote_cache = RemoteCacheStore(remote_cache, metrics=self.obs.metrics)
+        self.remote_cache = remote_cache
         if use_cache:
             if cache is None:
                 store = (
@@ -261,7 +277,13 @@ class CompileService:
                 )
                 # `cache is not None`, not truthiness: an empty
                 # AllocationCache has len() == 0.
-                cache = AllocationCache(store=store, metrics=self.obs.metrics)
+                cache = AllocationCache(
+                    store=store, remote=self.remote_cache, metrics=self.obs.metrics
+                )
+            elif self.remote_cache is not None and cache.remote is None:
+                # An explicitly passed cache gains the remote tier unless
+                # it already carries one (an attached remote wins).
+                cache.remote = self.remote_cache
             self.cache = cache
         else:
             self.cache = None
@@ -371,6 +393,11 @@ class CompileService:
             {
                 **job.to_spec(),
                 "cache_dir": cache_dir,
+                # Workers reach the networked tier by URL (the client
+                # object itself holds sockets and must not cross the
+                # process border); a remote passed as a bare object with
+                # no URL stays parent-only.
+                "remote_cache": getattr(self.remote_cache, "url", None),
                 "use_cache": self.cache is not None,
                 "trace": bool(self.obs.tracer.enabled),
             }
@@ -399,6 +426,20 @@ class CompileService:
         return results
 
     # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release held connections (the remote tier's sockets). Idempotent.
+
+        The service has no worker pool of its own to stop — pools are
+        per-batch — so this only matters with a ``remote_cache``
+        attached; everything else is garbage-collected state.
+        """
+        remote = self.remote_cache
+        if remote is not None and hasattr(remote, "close"):
+            remote.close()
+
+    # ------------------------------------------------------------------ #
     # service-level statistics
     # ------------------------------------------------------------------ #
     @property
@@ -419,19 +460,26 @@ class CompileService:
 # process-backend worker (module level so it pickles)
 # ---------------------------------------------------------------------- #
 
-#: Per-worker-process caches, keyed by cache directory, so every job a
-#: worker serves shares one in-memory tier (fronting the shared disk
-#: store when a directory is configured).
-_WORKER_CACHES: Dict[str, AllocationCache] = {}
+#: Per-worker-process caches, keyed by (cache directory, remote URL), so
+#: every job a worker serves shares one in-memory tier (fronting the
+#: shared disk store / cache server when configured).
+_WORKER_CACHES: Dict[Tuple[str, str], AllocationCache] = {}
 
 
-def _worker_cache(cache_dir: Optional[str]) -> AllocationCache:
-    """The (per-process) shared cache for ``cache_dir``."""
-    key = cache_dir or ""
+def _worker_cache(
+    cache_dir: Optional[str], remote_url: Optional[str] = None
+) -> AllocationCache:
+    """The (per-process) shared cache for ``(cache_dir, remote_url)``."""
+    key = (cache_dir or "", remote_url or "")
     cache = _WORKER_CACHES.get(key)
     if cache is None:
         store = DiskCacheStore(cache_dir) if cache_dir else None
-        cache = AllocationCache(store=store)
+        remote = None
+        if remote_url:
+            from .serve.remote import RemoteCacheStore
+
+            remote = RemoteCacheStore(remote_url)
+        cache = AllocationCache(store=store, remote=remote)
         _WORKER_CACHES[key] = cache
     return cache
 
@@ -445,7 +493,11 @@ def _compile_spec_in_worker(spec: Dict) -> CompileJobResult:
     parent folds into the job's result.
     """
     job = CompileJob.from_spec(spec)
-    cache = _worker_cache(spec.get("cache_dir")) if spec.get("use_cache", True) else None
+    cache = (
+        _worker_cache(spec.get("cache_dir"), spec.get("remote_cache"))
+        if spec.get("use_cache", True)
+        else None
+    )
     obs = Observability(tracer=Tracer()) if spec.get("trace") else None
     service = CompileService(cache=cache, use_cache=cache is not None, obs=obs)
     result = service.compile(job)

@@ -1,0 +1,518 @@
+"""Tests for the serving tier: wire format, coalescing, daemon, remote cache.
+
+Covers the ISSUE-9 acceptance surface: fingerprint-bit-identical wire
+round trips, single-flight coalescing (exactly one allocator-solving
+compile for N concurrent identical requests), the networked cache tier
+(self-verifying entries: poisoned or version-skewed server data is a
+miss, never a wrong program), `Session(remote_cache=...)` zero-solve
+warm compiles, the `Session` context manager, and the batch JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.core.cache import AllocationCache, AllocationCacheKey, CacheEntry
+from repro.core.compiler import CompilerOptions
+from repro.core.store import DiskCacheStore, FORMAT_VERSION, key_digest
+from repro.models.workload import Phase, Workload
+from repro.serve import (
+    CacheServer,
+    Client,
+    CoalesceTimeout,
+    CompileDaemon,
+    CompileRequestError,
+    RemoteCacheStore,
+    SingleFlight,
+    WireFormatError,
+    job_from_wire,
+    job_to_wire,
+    program_from_wire,
+    program_to_wire,
+    request_fingerprint,
+)
+from repro.serve.wire import WIRE_VERSION, check_version
+from repro.service import CompileJob
+
+
+def _synthetic_key(**overrides) -> AllocationCacheKey:
+    fields = dict(
+        hardware="feedfacefeedface",
+        segment=(("linear", 1024, 32, 32, 1024, 1024, 32, 0, True, 1, 32, 32),),
+        engine="milp",
+        pipelined=True,
+        refine=True,
+        allow_memory_mode=True,
+        reserve_arrays=0,
+    )
+    fields.update(overrides)
+    return AllocationCacheKey(**fields)
+
+
+def _entry(allocations=((2, 1), (3, 0)), latency=123.5) -> CacheEntry:
+    return CacheEntry(
+        allocations=tuple(tuple(pair) for pair in allocations),
+        latency_cycles=latency,
+        feasible=True,
+        solver="milp",
+    )
+
+
+@pytest.fixture()
+def cache_server(tmp_path):
+    server = CacheServer(tmp_path / "served")
+    server.start_background()
+    yield server
+    server.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# wire format
+# ---------------------------------------------------------------------- #
+class TestWireFormat:
+    def test_job_roundtrip_by_name(self):
+        job = CompileJob(
+            "tiny-mlp",
+            workload=Workload(batch_size=4, seq_len=32, phase=Phase.PREFILL),
+            hardware="small-test-chip",
+            options=CompilerOptions(generate_code=False),
+            label="probe",
+        )
+        back = job_from_wire(job_to_wire(job))
+        assert back.model == "tiny-mlp"
+        assert back.workload == job.workload
+        assert back.hardware == "small-test-chip"
+        assert back.options == job.options
+        assert back.label == "probe"
+
+    def test_graph_job_travels_by_serialization(self, tiny_mlp_graph):
+        job = CompileJob(tiny_mlp_graph)
+        back = job_from_wire(job_to_wire(job))
+        assert not isinstance(back.model, str)
+        assert back.model.name == tiny_mlp_graph.name
+        assert [op.name for op in back.model.operators] == [
+            op.name for op in tiny_mlp_graph.operators
+        ]
+
+    def test_program_roundtrip_is_fingerprint_bit_identical(self, small_chip, tiny_mlp_graph):
+        from repro.core.compiler import CMSwitchCompiler
+
+        for generate_code in (False, True):
+            program = CMSwitchCompiler(
+                small_chip, CompilerOptions(generate_code=generate_code)
+            ).compile(tiny_mlp_graph)
+            back = program_from_wire(program_to_wire(program))
+            assert back.fingerprint() == program.fingerprint()
+            assert back.end_to_end_cycles == program.end_to_end_cycles
+            assert back.num_segments == program.num_segments
+
+    def test_wire_survives_json_serialisation(self, small_chip, tiny_mlp_graph):
+        """The payload must survive an actual JSON encode/decode (floats!)."""
+        from repro.core.compiler import CMSwitchCompiler
+
+        program = CMSwitchCompiler(
+            small_chip, CompilerOptions(generate_code=False)
+        ).compile(tiny_mlp_graph)
+        payload = json.loads(json.dumps(program_to_wire(program)))
+        assert program_from_wire(payload).fingerprint() == program.fingerprint()
+
+    def test_unknown_option_field_rejected(self):
+        wire = job_to_wire(CompileJob("tiny-mlp", options=CompilerOptions()))
+        wire["options"]["no_such_option"] = True
+        with pytest.raises(WireFormatError):
+            job_from_wire(wire)
+
+    def test_newer_wire_version_rejected(self):
+        with pytest.raises(WireFormatError):
+            check_version({"wire_version": WIRE_VERSION + 1}, "test document")
+        with pytest.raises(WireFormatError):
+            check_version({}, "test document")
+
+    def test_model_and_graph_are_mutually_exclusive(self):
+        wire = job_to_wire(CompileJob("tiny-mlp"))
+        wire["graph_json"] = "{}"
+        with pytest.raises(WireFormatError):
+            job_from_wire(wire)
+
+
+class TestRequestFingerprint:
+    def test_deterministic(self):
+        job = CompileJob("tiny-mlp", workload=Workload(batch_size=2))
+        assert request_fingerprint(job) == request_fingerprint(job)
+
+    def test_sensitive_to_compile_determining_inputs(self):
+        base = CompileJob("tiny-mlp")
+        fp = request_fingerprint(base)
+        assert request_fingerprint(CompileJob("tiny-cnn")) != fp
+        assert (
+            request_fingerprint(CompileJob("tiny-mlp", workload=Workload(batch_size=8)))
+            != fp
+        )
+        assert (
+            request_fingerprint(CompileJob("tiny-mlp", hardware="small-test-chip")) != fp
+        )
+        assert (
+            request_fingerprint(
+                CompileJob("tiny-mlp", options=CompilerOptions(pipelined=False))
+            )
+            != fp
+        )
+
+    def test_label_does_not_change_identity(self):
+        assert request_fingerprint(
+            CompileJob("tiny-mlp", label="a")
+        ) == request_fingerprint(CompileJob("tiny-mlp", label="b"))
+
+    def test_default_options_fold(self):
+        """options=None coalesces with the daemon's explicit batch default."""
+        default = CompilerOptions(generate_code=False)
+        assert request_fingerprint(
+            CompileJob("tiny-mlp"), default_options=default
+        ) == request_fingerprint(CompileJob("tiny-mlp", options=default))
+        # ... but not with a *different* explicit choice.
+        assert request_fingerprint(
+            CompileJob("tiny-mlp"), default_options=default
+        ) != request_fingerprint(
+            CompileJob("tiny-mlp", options=CompilerOptions(generate_code=True))
+        )
+
+
+# ---------------------------------------------------------------------- #
+# single-flight coalescing
+# ---------------------------------------------------------------------- #
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_computation(self):
+        flights = SingleFlight()
+        calls = []
+        gate = threading.Event()
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def work():
+            calls.append(1)
+            gate.wait(5)
+            return "result"
+
+        def run():
+            barrier.wait(5)
+            value, coalesced = flights.do("key", work, timeout=10)
+            outcomes.append((value, coalesced))
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Let every follower join the flight before the leader finishes.
+        import time
+
+        deadline = time.monotonic() + 10
+        while flights.coalesced < 3 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        gate.set()
+        for thread in threads:
+            thread.join(10)
+        assert len(calls) == 1
+        assert [value for value, _ in outcomes] == ["result"] * 4
+        assert sorted(coalesced for _, coalesced in outcomes) == [False, True, True, True]
+        assert flights.started == 1 and flights.coalesced == 3
+        assert len(flights) == 0
+
+    def test_leader_failure_propagates_and_is_not_replayed(self):
+        flights = SingleFlight()
+        boom = RuntimeError("solver exploded")
+
+        flight, leader = flights.begin("key")
+        assert leader
+        follower_error = []
+
+        def follow():
+            try:
+                flights.wait(flight, timeout=5)
+            except RuntimeError as exc:
+                follower_error.append(exc)
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        flights.finish(flight, error=boom)
+        thread.join(5)
+        assert follower_error == [boom]
+        # The failed flight is retired: the next caller leads afresh.
+        _, leader_again = flights.begin("key")
+        assert leader_again
+
+    def test_wait_timeout(self):
+        flights = SingleFlight()
+        flight, _ = flights.begin("slow")
+        with pytest.raises(CoalesceTimeout):
+            flights.wait(flight, timeout=0.01)
+        # The flight is still in the air for everyone else.
+        _, leader = flights.begin("slow")
+        assert not leader
+        flights.finish(flight, value="done")
+
+
+# ---------------------------------------------------------------------- #
+# the networked cache tier
+# ---------------------------------------------------------------------- #
+class TestRemoteCacheStore:
+    def test_roundtrip_through_server(self, cache_server):
+        remote = RemoteCacheStore(cache_server.url)
+        key, entry = _synthetic_key(), _entry()
+        assert remote.get(key) is None
+        remote.put(key, entry)
+        assert remote.get(key) == entry
+        assert remote.contains(key)
+        assert not remote.contains(_synthetic_key(reserve_arrays=9))
+        assert remote.stats.hits == 1 and remote.stats.misses == 1
+        remote.close()
+
+    def test_dead_server_is_a_miss_not_an_error(self):
+        remote = RemoteCacheStore("http://127.0.0.1:9", timeout=0.2)
+        key = _synthetic_key()
+        assert remote.get(key) is None
+        remote.put(key, _entry())  # must not raise either
+        assert remote.stats.errors >= 1
+        remote.close()
+
+    def test_poisoned_entry_is_rejected_client_side(self, cache_server):
+        """A tampered server can cause misses, never wrong allocations."""
+        remote = RemoteCacheStore(cache_server.url)
+        key, entry = _synthetic_key(), _entry()
+        remote.put(key, entry)
+        digest = key_digest(key)
+        path = cache_server.store.root / digest[:2] / f"{digest}.json"
+        payload = json.loads(path.read_text())
+        payload["entry"]["allocations"] = [[9, 9]]  # poisoned allocations...
+        payload["key"]["engine"] = "greedy"  # ...under a now-mismatched key
+        path.write_text(json.dumps(payload))
+        assert remote.get(key) is None
+        assert remote.stats.corrupt_entries == 1
+        remote.close()
+
+    def test_version_skewed_entry_is_rejected_client_side(self, cache_server):
+        remote = RemoteCacheStore(cache_server.url)
+        key = _synthetic_key()
+        remote.put(key, _entry())
+        digest = key_digest(key)
+        path = cache_server.store.root / digest[:2] / f"{digest}.json"
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert remote.get(key) is None
+        assert remote.stats.version_rejections == 1
+        remote.close()
+
+    def test_server_enforces_content_addressing_on_put(self, cache_server):
+        """No writer can poison another key: digest must match the payload."""
+        import http.client
+
+        key, other = _synthetic_key(), _synthetic_key(engine="greedy")
+        body = json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "key": json.loads(
+                    json.dumps(
+                        {
+                            "hardware": key.hardware,
+                            "segment": [list(s) for s in key.segment],
+                            "engine": key.engine,
+                            "pipelined": key.pipelined,
+                            "refine": key.refine,
+                            "allow_memory_mode": key.allow_memory_mode,
+                            "reserve_arrays": key.reserve_arrays,
+                        }
+                    )
+                ),
+                "entry": _entry().to_payload(),
+            }
+        ).encode()
+        conn = http.client.HTTPConnection("127.0.0.1", cache_server.bound_port, timeout=5)
+        # PUT the payload of `key` under `other`'s digest: must be refused.
+        conn.request("PUT", f"/entry/{key_digest(other)}", body=body)
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 400
+        assert cache_server.store.get(other) is None
+        conn.close()
+
+
+class TestThreeTierCache:
+    def test_remote_hit_promotes_into_both_local_tiers(self, cache_server, tmp_path):
+        key, entry = _synthetic_key(), _entry()
+        RemoteCacheStore(cache_server.url).put(key, entry)
+
+        store = DiskCacheStore(tmp_path / "local")
+        cache = AllocationCache(store=store, remote=RemoteCacheStore(cache_server.url))
+        result = cache.lookup(key, ["a", "b"])
+        assert result is not None and result.from_cache and result.from_disk
+        assert cache.stats.remote_hits == 1 and cache.stats.hits == 1
+        # Promoted: the next lookup is a pure memory hit...
+        cache.lookup(key, ["a", "b"])
+        assert cache.stats.remote_hits == 1 and cache.stats.hits == 2
+        # ...and the disk tier can now serve a *different* cache offline.
+        assert DiskCacheStore(tmp_path / "local").get(key) == entry
+
+    def test_fresh_solves_write_through_to_remote(self, cache_server):
+        key, entry = _synthetic_key(), _entry()
+        cache = AllocationCache(remote=RemoteCacheStore(cache_server.url))
+        names = ["a", "b"]
+        result = entry.to_result(names)
+        from dataclasses import replace
+
+        cache.put(key, {"a": None, "b": None}, replace(result, from_cache=False))
+        assert RemoteCacheStore(cache_server.url).get(key) == entry
+
+    def test_remoteless_cache_unchanged(self):
+        cache = AllocationCache()
+        assert cache.remote is None
+        assert cache.lookup(_synthetic_key(), ["a"]) is None
+        assert cache.stats.remote_hits == 0
+
+
+# ---------------------------------------------------------------------- #
+# the compile daemon
+# ---------------------------------------------------------------------- #
+class TestCompileDaemon:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        daemon = CompileDaemon(cache_dir=tmp_path / "daemon-cache", workers=2)
+        daemon.start_background()
+        yield daemon
+        daemon.shutdown()
+
+    def test_concurrent_identical_requests_coalesce_to_one_compile(self, daemon):
+        """The acceptance tripwire: N clients, one allocator-solving compile."""
+        fan_out = 4
+        barrier = threading.Barrier(fan_out)
+        results, errors = [], []
+
+        def fire():
+            client = Client(daemon.url, retries=1)
+            try:
+                barrier.wait(10)
+                results.append(client.compile("tiny-mlp", hardware="small-test-chip"))
+            except Exception as exc:  # noqa: BLE001 - assert below
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=fire) for _ in range(fan_out)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not errors
+        assert len(results) == fan_out
+        fingerprints = {result.fingerprint for result in results}
+        assert len(fingerprints) == 1
+        assert all(result.verify() for result in results)
+        counters = daemon.counters()
+        assert counters["compiles_executed"] == 1
+        assert counters["coalesced_hits"] == fan_out - 1
+        assert sum(result.coalesced for result in results) == fan_out - 1
+        # The solver tripwire: total solves equal one cold compile's.
+        local = Session(hardware="small-test-chip")
+        program = local.compile("tiny-mlp", options=CompilerOptions(generate_code=False))
+        assert counters["solves_executed"] == program.stats["allocator_solves"]
+        assert fingerprints == {program.fingerprint()}
+
+    def test_unknown_model_is_a_structured_400(self, daemon):
+        client = Client(daemon.url, retries=1)
+        with pytest.raises(CompileRequestError) as excinfo:
+            client.compile("no-such-model")
+        assert excinfo.value.code == "bad_request"
+        assert "registered models" in str(excinfo.value)
+        client.close()
+
+    def test_batch_endpoint_isolates_failures(self, daemon):
+        client = Client(daemon.url, retries=1)
+        outcomes = client.compile_batch(
+            [
+                CompileJob("tiny-mlp", hardware="small-test-chip"),
+                CompileJob("no-such-model"),
+            ]
+        )
+        assert len(outcomes) == 2
+        assert outcomes[0].verify()
+        assert isinstance(outcomes[1], CompileRequestError)
+        client.close()
+
+    def test_stats_and_metrics_endpoints(self, daemon):
+        client = Client(daemon.url, retries=1)
+        client.compile("tiny-mlp", hardware="small-test-chip")
+        stats = client.cache_stats()
+        assert stats["serve"]["requests"] >= 1
+        assert "coalescing" in stats and "cache" in stats
+        text = client.metrics_text()
+        assert "serve_compiles_executed" in text
+        assert "serve_flights_started" in text
+        client.close()
+
+    def test_draining_daemon_refuses_new_work(self, tmp_path):
+        daemon = CompileDaemon(workers=1)
+        daemon.start_background()
+        client = Client(daemon.url, retries=0)
+        assert client.healthy(wait_seconds=5)
+        daemon._draining.set()
+        with pytest.raises(CompileRequestError) as excinfo:
+            client.compile("tiny-mlp", hardware="small-test-chip")
+        assert excinfo.value.code == "draining"
+        client.close()
+        daemon.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Session integration (the cross-machine acceptance path, in-process)
+# ---------------------------------------------------------------------- #
+class TestSessionRemoteCache:
+    def test_empty_local_cache_warm_compiles_with_zero_solves(
+        self, cache_server, tmp_path
+    ):
+        options = CompilerOptions(generate_code=False)
+        with Session(hardware="small-test-chip", remote_cache=cache_server.url) as warm:
+            cold = warm.compile("tiny-mlp", options=options)
+            assert cold.stats["allocator_solves"] > 0
+
+        # A different "machine": empty local cache dir, same cache server.
+        with Session(
+            hardware="small-test-chip",
+            cache_dir=tmp_path / "other-machine",
+            remote_cache=cache_server.url,
+        ) as other:
+            program = other.compile("tiny-mlp", options=options)
+            assert program.stats["allocator_solves"] == 0
+            assert program.fingerprint() == cold.fingerprint()
+            assert other.cache_stats.remote_hits > 0
+            assert other.cache_stats.misses == 0
+
+    def test_context_manager_closes_and_stays_usable(self):
+        with Session(hardware="small-test-chip") as session:
+            assert session.compile("tiny-mlp").num_segments >= 1
+        session.close()  # idempotent
+        assert session.compile("tiny-mlp").num_segments >= 1  # reconnectable
+
+
+# ---------------------------------------------------------------------- #
+# CLI surface
+# ---------------------------------------------------------------------- #
+class TestBatchJsonOut:
+    def test_json_report_mirrors_the_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(["compile-batch", "tiny-mlp", "--json-out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "total allocator solves:" in stdout  # grep lines survive
+        report = json.loads(out.read_text())
+        assert report["totals"]["jobs"] == 1
+        assert report["totals"]["failures"] == 0
+        job = report["jobs"][0]
+        assert job["label"] == "tiny-mlp" and job["ok"]
+        assert job["allocator_solves"] == report["totals"]["allocator_solves"]
+        assert job["latency_ms"] > 0
+        assert "cache" in report

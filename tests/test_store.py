@@ -393,3 +393,58 @@ class TestCrossProcessWarmStartCLI:
         )
         assert second.returncode == 0, second.stderr
         assert "total allocator solves: 0" in second.stdout
+
+
+def _put_same_digest(root: str, rounds: int) -> None:
+    """Worker: re-write (and read back) one fixed key while GC runs."""
+    store = DiskCacheStore(root)
+    key = _synthetic_key()
+    entry = _entry()
+    for _ in range(rounds):
+        store.put(key, entry)
+        got = store.get(key)
+        # Pruned-away is fine (a miss); a *different* entry never is.
+        assert got is None or got == entry
+
+
+def _prune_repeatedly(root: str, rounds: int, max_bytes: int) -> None:
+    """Worker: run the GC in a tight loop against racing writers."""
+    store = DiskCacheStore(root)
+    for _ in range(rounds):
+        outcome = store.prune(max_bytes=max_bytes)
+        assert outcome["removed_files"] >= 0
+
+
+class TestPrunePutRace:
+    """`prune()` racing `put()` on the same digest (ISSUE-9 satellite).
+
+    The cache server runs GC while daemons write through to it, so a
+    prune sweep deciding to delete a file just as a writer re-creates it
+    must never surface a torn entry or an exception — only complete
+    entries or clean misses — and the budget must hold once writers stop.
+    """
+
+    def test_prune_racing_put_same_digest(self, tmp_path):
+        root = str(tmp_path)
+        # A budget of one entry: every prune pass is eviction-happy, so
+        # the delete-vs-recreate window is exercised constantly.
+        entry_bytes = 512
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_put_same_digest, args=(root, 120)),
+            ctx.Process(target=_put_same_digest, args=(root, 120)),
+            ctx.Process(target=_prune_repeatedly, args=(root, 120, entry_bytes)),
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        # No torn entries: whatever survived parses back exactly.
+        store = DiskCacheStore(root)
+        got = store.get(_synthetic_key())
+        assert got is None or got == _entry()
+        # The budget is respected once the racing writers have stopped.
+        store.prune(max_bytes=entry_bytes)
+        assert store.usage()["bytes"] <= entry_bytes
+        assert len(store) <= 1
