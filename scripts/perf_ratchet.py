@@ -1,30 +1,40 @@
 """Performance ratchet: fail CI when the cold compile path regresses.
 
-The repository commits a measured baseline, ``BENCH_compile_cold.json``
-(seeded from ``benchmarks/bench_fig18_compile_time.py --quick``), which
+The repository commits measured baselines, ``BENCH_compile_cold.json``
+(sequential) and ``BENCH_compile_cold_parallel.json`` (``--solve-jobs``),
+seeded from ``benchmarks/bench_fig18_compile_time.py --quick``.  Each
 records the cold-pass wall time and allocator-solve count of the
 standard compile-time smoke.  CI re-measures and compares::
 
     PYTHONPATH=src python benchmarks/bench_fig18_compile_time.py \
-        --quick --json-out BENCH_compile_cold_now.json
-    python scripts/perf_ratchet.py BENCH_compile_cold_now.json
+        --quick --json-out BENCH_now_1.json
+    PYTHONPATH=src python benchmarks/bench_fig18_compile_time.py \
+        --quick --json-out BENCH_now_2.json
+    python scripts/perf_ratchet.py BENCH_now_1.json BENCH_now_2.json
 
 Two independent checks, because they fail for different reasons:
 
-* **Solve count** (exact) — ``allocator_solves_cold`` is deterministic:
-  the same models on the same chip enumerate the same allocation
-  windows.  Any increase means the compiler started solving more
-  sub-problems (a cache-key regression, a lost dedup) and fails the
-  ratchet outright, with no tolerance.
-* **Wall time** (tolerance-gated) — cold ``cold_seconds`` may exceed the
-  baseline by at most ``--tolerance`` (default 20%).  CI machines are
-  noisy, so the tolerance is generous; a vectorisation or solver-path
-  regression shows up far above it.
+* **Solve count** (exact, every file) — ``allocator_solves_cold`` is
+  deterministic: the same models on the same chip enumerate the same
+  allocation windows.  Any increase, in *any* measurement, means the
+  compiler started solving more sub-problems (a cache-key regression, a
+  lost dedup, a parallel-DP parity break) and fails the ratchet
+  outright, with no tolerance.
+* **Wall time** (tolerance-gated, best-of-N) — the *minimum*
+  ``cold_seconds`` across the measurement files may exceed the baseline
+  by at most the tolerance.  Taking the best of several runs filters
+  the one-off scheduler hiccups that made a single-shot gate flaky; a
+  genuine vectorisation or solver-path regression slows every run, so
+  the minimum still catches it.  The tolerance lives *in the baseline
+  file* (``wall_tolerance``, a fraction) so each baseline carries the
+  noise budget of the machine class that produced it; ``--tolerance``
+  overrides it, and 0.20 is the fallback when neither is present.
 
 The warm pass is already asserted elsewhere (hit rate >= 95%, zero warm
-solves); the ratchet only guards the cold path the ISSUE-6 vectorisation
-sped up.  To *advance* the ratchet after a deliberate improvement,
-re-seed the baseline file with the bench command above and commit it.
+solves); the ratchet only guards the cold path.  To *advance* the
+ratchet after a deliberate improvement, re-seed the baseline file with
+the bench command above and commit it (keep or adjust its
+``wall_tolerance`` field).
 
 The script also understands replay reports: a measurement whose
 ``schema`` is ``repro-replay-report/1`` (``repro replay --json-out``) is
@@ -49,6 +59,10 @@ DEFAULT_REPLAY_BASELINE = REPO_ROOT / "BENCH_replay.json"
 #: Fields the compile ratchet needs from both records.
 REQUIRED = ("cold_seconds", "allocator_solves_cold")
 
+#: Fallback fractional wall-time budget when neither the baseline file
+#: nor the command line provides one.
+DEFAULT_TOLERANCE = 0.20
+
 #: Schema tag of repro.sim.replay reports (kept in sync with REPORT_SCHEMA).
 REPLAY_SCHEMA = "repro-replay-report/1"
 
@@ -67,6 +81,22 @@ def load_record(path: Path) -> dict:
     if missing:
         raise SystemExit(f"error: {path} is missing fields: {', '.join(missing)}")
     return record
+
+
+def resolve_tolerance(baseline: dict, override) -> float:
+    """The wall-time budget: CLI override > baseline file > default."""
+    if override is not None:
+        return float(override)
+    tolerance = baseline.get("wall_tolerance", DEFAULT_TOLERANCE)
+    try:
+        tolerance = float(tolerance)
+    except (TypeError, ValueError):
+        raise SystemExit(
+            f"error: baseline wall_tolerance is not a number: {tolerance!r}"
+        )
+    if tolerance < 0:
+        raise SystemExit(f"error: baseline wall_tolerance is negative: {tolerance}")
+    return tolerance
 
 
 def check_replay(baseline: dict, measured: dict, baseline_name: str) -> int:
@@ -104,7 +134,14 @@ def check_replay(baseline: dict, measured: dict, baseline_name: str) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "measurement", type=Path, help="fresh BENCH_*.json record to check"
+        "measurements",
+        type=Path,
+        nargs="+",
+        help=(
+            "fresh BENCH_*.json record(s) to check; with several, wall "
+            "time is gated on the best (minimum) run while solve counts "
+            "must hold in every run"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -118,45 +155,58 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.20,
-        help="allowed fractional wall-time regression (default: 0.20 = +20%%)",
+        default=None,
+        help=(
+            "allowed fractional wall-time regression; overrides the "
+            "baseline file's wall_tolerance field (fallback: "
+            f"{DEFAULT_TOLERANCE:.2f})"
+        ),
     )
     args = parser.parse_args(argv)
-    if args.tolerance < 0:
+    if args.tolerance is not None and args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
 
-    raw = load_json(args.measurement)
-    if raw.get("schema") == REPLAY_SCHEMA:
+    first = load_json(args.measurements[0])
+    if first.get("schema") == REPLAY_SCHEMA:
+        if len(args.measurements) > 1:
+            parser.error("replay reports are deterministic; pass exactly one")
         baseline_path = args.baseline or DEFAULT_REPLAY_BASELINE
-        return check_replay(load_json(baseline_path), raw, baseline_path.name)
+        return check_replay(load_json(baseline_path), first, baseline_path.name)
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     baseline = load_record(baseline_path)
-    measured = load_record(args.measurement)
+    measured = [load_record(path) for path in args.measurements]
+    tolerance = resolve_tolerance(baseline, args.tolerance)
 
     base_solves = int(baseline["allocator_solves_cold"])
-    now_solves = int(measured["allocator_solves_cold"])
     base_seconds = float(baseline["cold_seconds"])
-    now_seconds = float(measured["cold_seconds"])
-    budget = base_seconds * (1.0 + args.tolerance)
+    budget = base_seconds * (1.0 + tolerance)
+    walls = [float(record["cold_seconds"]) for record in measured]
+    best_seconds = min(walls)
 
+    runs = ", ".join(f"{seconds:.3f}" for seconds in walls)
     print(
-        f"perf ratchet (baseline {baseline_path.name}):\n"
-        f"  solves : {now_solves} measured vs {base_solves} baseline (exact)\n"
-        f"  wall   : {now_seconds:.3f} s measured vs {base_seconds:.3f} s "
-        f"baseline (budget {budget:.3f} s = +{100 * args.tolerance:.0f}%)"
+        f"perf ratchet (baseline {baseline_path.name}, "
+        f"{len(measured)} measurement(s)):\n"
+        f"  solves : exact gate vs {base_solves} baseline, every run\n"
+        f"  wall   : best of [{runs}] s = {best_seconds:.3f} s vs "
+        f"{base_seconds:.3f} s baseline "
+        f"(budget {budget:.3f} s = +{100 * tolerance:.0f}%)"
     )
 
     failures = []
-    if now_solves > base_solves:
+    for path, record in zip(args.measurements, measured):
+        now_solves = int(record["allocator_solves_cold"])
+        if now_solves > base_solves:
+            failures.append(
+                f"allocator_solves_cold regressed in {path.name}: "
+                f"{now_solves} > {base_solves} (solve counts are "
+                "deterministic; this is a real regression)"
+            )
+    if best_seconds > budget:
         failures.append(
-            f"allocator_solves_cold regressed: {now_solves} > {base_solves} "
-            "(solve counts are deterministic; this is a real regression)"
-        )
-    if now_seconds > budget:
-        failures.append(
-            f"cold_seconds regressed: {now_seconds:.3f} s > {budget:.3f} s "
-            f"({base_seconds:.3f} s +{100 * args.tolerance:.0f}%)"
+            f"cold_seconds regressed: best run {best_seconds:.3f} s > "
+            f"{budget:.3f} s ({base_seconds:.3f} s +{100 * tolerance:.0f}%)"
         )
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -95,6 +95,13 @@ class Session:
         backend: ``"thread"`` (default) or ``"process"`` — see
             :class:`CompileService` for the sharing contract.
         max_workers: Default pool width for batches.
+        solve_jobs: Worker threads for window-allocation solves.  The
+            session's service builds **one** shared
+            :class:`~repro.core.solverpool.SolverPool` used by every
+            compile and batch job, so a cold compile's DP saturates the
+            budget while concurrent jobs still share it (never multiply
+            it).  ``None`` keeps the sequential solve path.  Closed by
+            :meth:`close`.
         use_cache: Disable the shared cache entirely (A/B timing).
         trace: Telemetry switch (off by default — the disabled path is a
             measured-overhead-free no-op).  Accepts ``True`` (collect
@@ -115,6 +122,7 @@ class Session:
         remote_cache: Optional[Union[str, object]] = None,
         backend: str = "thread",
         max_workers: Optional[int] = None,
+        solve_jobs: Optional[int] = None,
         use_cache: bool = True,
         trace: Union[None, bool, str, Path, Tracer, Observability] = None,
     ) -> None:
@@ -147,6 +155,7 @@ class Session:
             remote_cache=remote_cache,
             backend=backend,
             max_workers=max_workers,
+            solve_jobs=solve_jobs,
             use_cache=use_cache,
             obs=self.obs,
         )
@@ -155,11 +164,11 @@ class Session:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release held connections (the remote cache tier's sockets).
+        """Release held resources (solver pool, remote-cache sockets).
 
-        Idempotent; a closed session remains usable — the remote client
-        reconnects on the next lookup — so ``close()`` is about returning
-        sockets promptly, not about invalidating the session.
+        Idempotent.  The remote client reconnects on the next lookup,
+        but the solver pool is shut down for good: compiles after
+        ``close()`` on a session that had ``solve_jobs`` set will raise.
         """
         self.service.close()
 
@@ -204,7 +213,11 @@ class Session:
             get_preset(hardware) if isinstance(hardware, str) else hardware
         )
         compiler = CMSwitchCompiler(
-            target, options or self.options, cache=self.cache, obs=self.obs
+            target,
+            options or self.options,
+            cache=self.cache,
+            obs=self.obs,
+            solver_pool=self.service.solver_pool,
         )
         return compiler.compile(graph)
 

@@ -166,6 +166,37 @@ class CacheEntry:
     feasible: bool
     solver: str
 
+    @classmethod
+    def from_result(
+        cls,
+        profiles: Mapping[str, OperatorProfile],
+        result: AllocationResult,
+    ) -> Optional["CacheEntry"]:
+        """Build the positional entry for ``result`` solved over ``profiles``.
+
+        Returns None for a feasible result that does not cover every
+        profiled operator (a foreign/partial result) — such results must
+        never be stored, or a later hit would silently drop operators.
+        The single constructor both cache tiers, the per-run memo and
+        the solver pool share, so "what is storable" has one definition.
+        """
+        allocations = tuple(
+            (
+                result.allocations[name].compute_arrays,
+                result.allocations[name].memory_arrays,
+            )
+            for name in profiles
+            if name in result.allocations
+        )
+        if len(allocations) != len(profiles) and result.feasible:
+            return None
+        return cls(
+            allocations=allocations if result.feasible else tuple(),
+            latency_cycles=result.latency_cycles,
+            feasible=result.feasible,
+            solver=result.solver,
+        )
+
     @property
     def memory_free(self) -> bool:
         """Whether the entry uses no memory-mode arrays anywhere."""
@@ -506,19 +537,9 @@ class AllocationCache:
         through to the persistent and networked tiers (when attached)
         outside the lock.
         """
-        allocations = tuple(
-            (result.allocations[name].compute_arrays, result.allocations[name].memory_arrays)
-            for name in profiles
-            if name in result.allocations
-        )
-        if len(allocations) != len(profiles) and result.feasible:
+        entry = CacheEntry.from_result(profiles, result)
+        if entry is None:
             return  # partial allocation (foreign result); never cache it
-        entry = CacheEntry(
-            allocations=allocations if result.feasible else tuple(),
-            latency_cycles=result.latency_cycles,
-            feasible=result.feasible,
-            solver=result.solver,
-        )
         with self._lock:
             self._insert(key, entry)
             self.stats.stores += 1

@@ -117,22 +117,9 @@ class SolveMemo:
         result: AllocationResult,
     ) -> None:
         """Memoise the outcome of one solve under ``key``."""
-        allocations = tuple(
-            (
-                result.allocations[name].compute_arrays,
-                result.allocations[name].memory_arrays,
-            )
-            for name in profiles
-            if name in result.allocations
-        )
-        if len(allocations) != len(profiles) and result.feasible:
+        entry = CacheEntry.from_result(profiles, result)
+        if entry is None:
             return  # partial allocation (foreign result); never memoise it
-        entry = CacheEntry(
-            allocations=allocations if result.feasible else tuple(),
-            latency_cycles=result.latency_cycles,
-            feasible=result.feasible,
-            solver=result.solver,
-        )
         with self._lock:
             self._entries[key] = entry
             self.stores += 1

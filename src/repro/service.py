@@ -239,6 +239,17 @@ class CompileService:
             process-backend workers trace locally and ship their spans
             home for re-rooting) and threads the metrics registry into
             the cache it creates.
+        solve_jobs: Worker threads for window-allocation solves.  The
+            service builds **one** shared
+            :class:`~repro.core.solverpool.SolverPool` and hands it to
+            every compile it runs (thread backend), so total solver
+            concurrency stays bounded by this budget no matter how many
+            batch jobs run at once — the oversubscription rule.  The
+            process backend deliberately does *not* propagate it:
+            parallelism is across worker processes **or** within the DP,
+            never multiplied.  Mutually exclusive with ``solver_pool``.
+        solver_pool: An externally owned pool to use instead of building
+            one; the service then never closes it.
     """
 
     def __init__(
@@ -251,6 +262,8 @@ class CompileService:
         remote_cache: Optional[Union[str, object]] = None,
         solve_memo=None,
         obs: Optional[Observability] = None,
+        solve_jobs: Optional[int] = None,
+        solver_pool=None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -289,6 +302,15 @@ class CompileService:
             self.cache = None
         self.solve_memo = solve_memo
         self.max_workers = max_workers
+        if solver_pool is not None and solve_jobs is not None:
+            raise ValueError("pass either solve_jobs or solver_pool, not both")
+        self._owns_pool = False
+        if solver_pool is None and solve_jobs is not None:
+            from .core.solverpool import SolverPool
+
+            solver_pool = SolverPool(solve_jobs, obs=self.obs)
+            self._owns_pool = True
+        self.solver_pool = solver_pool
 
     # ------------------------------------------------------------------ #
     # single job
@@ -311,6 +333,7 @@ class CompileService:
                     cache=self.cache,
                     solve_memo=self.solve_memo,
                     obs=self.obs,
+                    solver_pool=self.solver_pool,
                 )
                 program = compiler.compile(graph)
             except Exception as exc:  # noqa: BLE001 - isolation is the contract
@@ -429,15 +452,24 @@ class CompileService:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release held connections (the remote tier's sockets). Idempotent.
+        """Release held resources. Idempotent.
 
-        The service has no worker pool of its own to stop — pools are
-        per-batch — so this only matters with a ``remote_cache``
-        attached; everything else is garbage-collected state.
+        Shuts down the solver pool the service built (an externally
+        passed ``solver_pool`` is its owner's to close) and the remote
+        cache tier's sockets; batch thread pools are per-call and need
+        no teardown.
         """
+        if self._owns_pool and self.solver_pool is not None:
+            self.solver_pool.close()
         remote = self.remote_cache
         if remote is not None and hasattr(remote, "close"):
             remote.close()
+
+    def solver_pool_stats(self) -> Optional[Dict[str, object]]:
+        """Counters of the shared solver pool (None when there is none)."""
+        if self.solver_pool is None:
+            return None
+        return self.solver_pool.stats_dict()
 
     # ------------------------------------------------------------------ #
     # service-level statistics

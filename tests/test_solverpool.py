@@ -1,0 +1,399 @@
+"""Solver-pool tests: strict parity, concurrency, lifecycle (ISSUE 10).
+
+Four families:
+
+* **Strict parity** — compiling with a :class:`SolverPool` (workers 1
+  and 4) must reproduce the sequential DP bit-identically: program
+  fingerprints, allocator-solve counts and cache/disk-hit counters,
+  across the model zoo and the compiler-option matrix, with and without
+  shared cache/memo tiers.
+* **Order independence** — a fake solver with seeded per-solve jitter
+  scrambles worker completion order; boundaries and counters must not
+  move (the DP consumes tickets in the sequential probe order, so
+  completion order is irrelevant by construction).
+* **Pool semantics** — single-flight dedup of identical concurrent
+  solves, demonstrated concurrency with a sleeping solver (sleep
+  releases the GIL, like HiGHS), speculative-waste accounting.
+* **Lifecycle** — idempotent close, submit-after-close, a worker-raised
+  solve failing only its window while the pool keeps serving, and the
+  ``CompilerOptions.solve_jobs`` validation surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import random
+
+import pytest
+
+from repro.core import CMSwitchCompiler, CompilerOptions
+from repro.core.allocation import GreedyAllocator, MIPAllocator
+from repro.core.cache import AllocationCache
+from repro.core.memo import SolveMemo
+from repro.core.segmentation import (
+    NetworkSegmenter,
+    SegmentationOptions,
+    flatten_graph,
+)
+from repro.core.solverpool import SolverPool, WindowSolve, resolve_workers
+from repro.hardware import small_test_chip
+from repro.models import Workload, build_model
+
+
+MODELS = ("tiny-mlp", "tiny-cnn", "tiny-transformer")
+
+OPTION_MATRIX = {
+    "defaults": {},
+    "fixed-mode": {"allow_memory_mode": False},
+    "serial-no-refine": {"pipelined": False, "refine": False},
+}
+
+
+def _compile(chip, graph, option_overrides, pool=None, cache=None, memo=None):
+    options = CompilerOptions(generate_code=False, **option_overrides)
+    compiler = CMSwitchCompiler(
+        chip, options, cache=cache, solve_memo=memo, solver_pool=pool
+    )
+    program = compiler.compile(graph)
+    return (
+        program.fingerprint(),
+        program.stats["allocator_solves"],
+        program.stats["allocation_cache_hits"],
+        program.stats["allocation_disk_hits"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# strict parity
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("variant", sorted(OPTION_MATRIX))
+@pytest.mark.parametrize("workers", [1, 4])
+def test_strict_parity_matrix(small_chip, model, variant, workers):
+    """Pooled compiles are bit-identical to sequential ones — fingerprint
+    and every solver counter — across models, options and pool widths."""
+    graph = build_model(model, Workload(batch_size=1, seq_len=16))
+    overrides = OPTION_MATRIX[variant]
+    sequential = _compile(small_chip, graph, overrides)
+    with SolverPool(workers) as pool:
+        pooled = _compile(small_chip, graph, overrides, pool=pool)
+    assert pooled == sequential
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_strict_parity_with_shared_tiers(small_chip, workers):
+    """Cold+warm compiles against shared cache and memo tiers advance the
+    tier counters identically under the pool."""
+    graph = build_model("tiny-cnn", Workload(batch_size=1, seq_len=16))
+
+    def cold_and_warm(pool):
+        cache, memo = AllocationCache(), SolveMemo()
+        cold = _compile(small_chip, graph, {}, pool=pool, cache=cache, memo=memo)
+        warm = _compile(small_chip, graph, {}, pool=pool, cache=cache, memo=memo)
+        return cold, warm
+
+    seq_cold, seq_warm = cold_and_warm(None)
+    with SolverPool(workers) as pool:
+        pool_cold, pool_warm = cold_and_warm(pool)
+    assert pool_cold == seq_cold
+    assert pool_warm == seq_warm
+    # The warm pass is tier-served: fingerprint equal, zero fresh solves.
+    assert pool_warm[0] == pool_cold[0]
+    assert pool_warm[1] == 0
+
+
+def test_tier_hits_resolve_without_dispatch(small_chip):
+    """A warm compile is served from the memo/cache probes in submit();
+    the pool's executor never sees those windows."""
+    graph = build_model("tiny-mlp", Workload())
+    cache, memo = AllocationCache(), SolveMemo()
+    with SolverPool(2) as pool:
+        _compile(small_chip, graph, {}, pool=pool, cache=cache, memo=memo)
+        after_cold = pool.stats_dict()
+        _compile(small_chip, graph, {}, pool=pool, cache=cache, memo=memo)
+        after_warm = pool.stats_dict()
+    assert after_warm["dispatched"] == after_cold["dispatched"]
+    assert after_warm["tier_hits"] > after_cold["tier_hits"]
+
+
+# --------------------------------------------------------------------- #
+# completion-order independence
+# --------------------------------------------------------------------- #
+class JitterAllocator:
+    """Delegating allocator that sleeps a seeded random delay per solve.
+
+    Scrambles which worker finishes first without changing any result —
+    the stress harness for the claim that DP decisions are independent
+    of completion order.
+    """
+
+    def __init__(self, inner, seed: int, max_delay: float = 0.01) -> None:
+        self._inner = inner
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._max_delay = max_delay
+        self.name = inner.name
+        self.allow_memory_mode = getattr(inner, "allow_memory_mode", True)
+        self.calls = 0
+
+    def allocate(self, profiles, hardware, pipelined=True):
+        with self._lock:
+            self.calls += 1
+            delay = self._rng.random() * self._max_delay
+        time.sleep(delay)
+        return self._inner.allocate(profiles, hardware, pipelined=pipelined)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_completion_order_independence(small_chip, seed):
+    """Randomised per-solve jitter must not move boundaries or counters."""
+    graph = build_model("tiny-cnn", Workload(batch_size=1, seq_len=16))
+    units = flatten_graph(graph, small_chip)
+
+    reference = NetworkSegmenter(small_chip, SegmentationOptions())
+    ref_boundaries = reference.choose_boundaries(graph, list(units))
+
+    options = SegmentationOptions()
+    with SolverPool(4) as pool:
+        options.solver_pool = pool
+        segmenter = NetworkSegmenter(small_chip, options)
+        segmenter._allocator = JitterAllocator(segmenter._allocator, seed)
+        boundaries = segmenter.choose_boundaries(graph, list(units))
+    assert boundaries == ref_boundaries
+    assert segmenter.allocation_calls == reference.allocation_calls
+    assert segmenter.cache_hits == reference.cache_hits
+    assert segmenter._allocator.calls == reference.allocation_calls
+
+
+# --------------------------------------------------------------------- #
+# pool semantics: concurrency, dedup, speculative waste
+# --------------------------------------------------------------------- #
+class SleepyAllocator:
+    """Fixed-delay delegating allocator; sleep releases the GIL like HiGHS."""
+
+    def __init__(self, inner, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+        self.name = inner.name
+        self.allow_memory_mode = getattr(inner, "allow_memory_mode", True)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def allocate(self, profiles, hardware, pipelined=True):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self._delay)
+        return self._inner.allocate(profiles, hardware, pipelined=pipelined)
+
+
+def _window_solves(chip, model="tiny-cnn", **solve_kwargs):
+    """Distinct single-unit WindowSolve requests over a flattened model."""
+    graph = build_model(model, Workload(batch_size=1, seq_len=16))
+    units = flatten_graph(graph, chip)
+    return [
+        WindowSolve(
+            profiles={unit.name: unit.profile},
+            hardware=chip,
+            **solve_kwargs,
+        )
+        for unit in units
+    ]
+
+
+def test_pool_overlaps_gil_releasing_solves(small_chip):
+    """Distinct windows on 4 workers finish in far less than serial time.
+
+    Runs even on a single-core machine: the fake solver's sleep releases
+    the GIL exactly like HiGHS does, so the overlap this asserts is the
+    same overlap the real pool exploits on a multicore runner.
+    """
+    delay = 0.05
+    allocator = SleepyAllocator(GreedyAllocator(), delay)
+    solves = _window_solves(small_chip, allocator=allocator, refine=False)
+    assert len(solves) >= 4
+    with SolverPool(4) as pool:
+        started = time.perf_counter()
+        tickets = [pool.submit(solve) for solve in solves]
+        results = [ticket.result() for ticket in tickets]
+        elapsed = time.perf_counter() - started
+    serial = delay * len(solves)
+    assert all(result.feasible for result in results)
+    assert allocator.calls == len(solves)
+    # Generous bound (75% of serial) to stay robust on loaded machines;
+    # ideal 4-way overlap would be ~25%.
+    assert elapsed < serial * 0.75, (elapsed, serial)
+
+
+def test_single_flight_dedup_of_identical_solves(small_chip):
+    """Concurrent identical solves run once; followers share the entry."""
+    delay = 0.05
+    allocator = SleepyAllocator(GreedyAllocator(), delay)
+    solve = _window_solves(small_chip, allocator=allocator, refine=False)[0]
+    with SolverPool(4) as pool:
+        tickets = [pool.submit(solve) for _ in range(4)]
+        results = [ticket.result() for ticket in tickets]
+        stats = pool.stats_dict()
+    assert allocator.calls == 1
+    assert stats["dispatched"] == 1
+    assert stats["dedup_hits"] == 3
+    lead = results[0]
+    for follower in results[1:]:
+        assert follower.allocations == lead.allocations
+        assert follower.latency_cycles == lead.latency_cycles
+        assert follower.from_cache  # follower results are entry-served
+
+
+def test_follower_writes_through_its_own_tiers(small_chip):
+    """A coalesced follower replicates the entry into tiers the leader
+    does not share (two compiles with separate memos, one pool)."""
+    delay = 0.05
+    allocator = SleepyAllocator(GreedyAllocator(), delay)
+    base = _window_solves(small_chip, allocator=allocator, refine=False)[0]
+    leader_memo, follower_memo = SolveMemo(), SolveMemo()
+    from dataclasses import replace
+
+    with SolverPool(2) as pool:
+        lead_ticket = pool.submit(replace(base, memo=leader_memo))
+        follow_ticket = pool.submit(replace(base, memo=follower_memo))
+        lead_ticket.result()
+        follow_ticket.result()
+    names = list(base.profiles)
+    key = base.cache_key()
+    assert leader_memo.lookup(key, names) is not None
+    assert follower_memo.lookup(key, names) is not None
+
+
+def test_speculative_mode_identical_fingerprint_reports_waste(small_chip):
+    """Speculative lookahead keeps the program bit-identical; any extra
+    solves are visible as speculative_waste, never silently lost."""
+    graph = build_model("tiny-cnn", Workload(batch_size=1, seq_len=16))
+    sequential = _compile(small_chip, graph, {})
+    with SolverPool(4) as pool:
+        options = CompilerOptions(generate_code=False, speculative_solves=True)
+        compiler = CMSwitchCompiler(small_chip, options, solver_pool=pool)
+        program = compiler.compile(graph)
+        stats = pool.stats_dict()
+    assert program.fingerprint() == sequential[0]
+    waste = program.stats.get("speculative_waste", 0)
+    assert stats["speculative_waste"] == waste
+    # Reported work == performed work: sequential solves + the waste.
+    assert program.stats["allocator_solves"] == sequential[1] + waste
+
+
+# --------------------------------------------------------------------- #
+# lifecycle and failure isolation
+# --------------------------------------------------------------------- #
+def test_close_is_idempotent_and_rejects_new_work(small_chip):
+    pool = SolverPool(2)
+    pool.close()
+    pool.close()  # second close is a no-op
+    assert pool.closed
+    solve = _window_solves(small_chip, allocator=GreedyAllocator(), refine=False)[0]
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.submit(solve)
+
+
+def test_context_manager_closes():
+    with SolverPool(1) as pool:
+        assert not pool.closed
+    assert pool.closed
+
+
+class ExplodingAllocator:
+    """Raises on a chosen operator; delegates everything else."""
+
+    def __init__(self, inner, poison: str) -> None:
+        self._inner = inner
+        self._poison = poison
+        self.name = inner.name
+        self.allow_memory_mode = getattr(inner, "allow_memory_mode", True)
+
+    def allocate(self, profiles, hardware, pipelined=True):
+        if self._poison in profiles:
+            raise RuntimeError(f"poisoned solve: {self._poison}")
+        return self._inner.allocate(profiles, hardware, pipelined=pipelined)
+
+
+def test_worker_failure_poisons_only_its_window(small_chip):
+    """A worker-raised solve becomes an infeasible window (solver tag
+    "failed"); the DP routes around it and the pool keeps serving."""
+    graph = build_model("tiny-mlp", Workload())
+    units = list(flatten_graph(graph, small_chip))
+    assert len(units) >= 2
+    poison = units[0].name
+
+    options = SegmentationOptions()
+    with SolverPool(2) as pool:
+        options.solver_pool = pool
+        segmenter = NetworkSegmenter(small_chip, options)
+        segmenter._allocator = ExplodingAllocator(segmenter._allocator, poison)
+        boundaries = segmenter.choose_boundaries(graph, units)
+        # Every window containing the poisoned unit settled as "failed";
+        # windows without it solved normally on the same pool.
+        failed = [
+            result
+            for result in segmenter._allocation_cache.values()
+            if result.solver == "failed"
+        ]
+        assert failed and all(not result.feasible for result in failed)
+        assert pool.stats_dict()["failed"] == len(failed)
+        # Failed windows are not counted as solves (no counter pollution).
+        clean = [
+            result
+            for result in segmenter._allocation_cache.values()
+            if result.solver not in ("failed", "infeasible")
+        ]
+        assert segmenter.allocation_calls == len(clean)
+        # The pool survives: submit fresh work after the failures.
+        extra = _window_solves(
+            small_chip, model="tiny-cnn", allocator=GreedyAllocator(), refine=False
+        )[0]
+        assert pool.submit(extra).result().feasible
+    # The DP still found a plan that avoids the poisoned single window
+    # only if one exists; at minimum the boundaries cover all units.
+    assert boundaries[0][0] == 0 and boundaries[-1][1] == len(units) - 1
+
+
+def test_resolve_workers_validation():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(8) == 8
+    assert resolve_workers(None) >= 1
+    for bad in (0, -2, True, 2.5, "4"):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+def test_compiler_options_validate_solve_jobs():
+    with pytest.raises(ValueError):
+        CompilerOptions(solve_jobs=0)
+    with pytest.raises(ValueError):
+        CompilerOptions(solve_jobs=-1)
+    # Runtime knobs never split option identity.
+    assert CompilerOptions() == CompilerOptions(solve_jobs=4, speculative_solves=True)
+
+
+def test_ephemeral_pool_from_solve_jobs(small_chip):
+    """With no shared pool, options.solve_jobs builds (and closes) an
+    ephemeral pool per compile — parity still holds."""
+    graph = build_model("tiny-mlp", Workload())
+    sequential = _compile(small_chip, graph, {})
+    pooled = _compile(small_chip, graph, {"solve_jobs": 2})
+    assert pooled == sequential
+
+
+def test_session_shared_pool_and_close(small_chip):
+    """Session(solve_jobs=) owns one pool across compiles and closes it."""
+    from repro.api import Session
+
+    graph = build_model("tiny-mlp", Workload())
+    session = Session(hardware=small_chip, solve_jobs=2)
+    first = session.compile(graph)
+    second = session.compile(graph)
+    assert first.fingerprint() == second.fingerprint()
+    stats = session.service.solver_pool_stats()
+    assert stats["workers"] == 2
+    session.close()
+    assert session.service.solver_pool.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        session.compile(graph)
